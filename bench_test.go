@@ -1,0 +1,419 @@
+package leakest
+
+// One benchmark per table and figure of the paper's evaluation (see
+// DESIGN.md's experiment index). Each benchmark regenerates the artifact
+// through the drivers in internal/experiments at a paper-comparable scale
+// and reports the headline error metric; run with -v to see the full
+// tables. cmd/paperfigs runs the same drivers at full scale with complete
+// textual output.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"leakest/internal/charlib"
+	"leakest/internal/core"
+	"leakest/internal/experiments"
+	"leakest/internal/stats"
+)
+
+func benchLib(b *testing.B) *charlib.Library {
+	b.Helper()
+	lib, err := charlib.SharedISCAS()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lib
+}
+
+func benchHist(b *testing.B) *stats.Histogram {
+	b.Helper()
+	h, err := stats.NewHistogram(map[string]float64{
+		"INV_X1": 25, "BUF_X1": 5, "NAND2_X1": 25, "NAND3_X1": 8,
+		"NOR2_X1": 15, "AND2_X1": 12, "OR2_X1": 6, "XOR2_X1": 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// lastNotePct extracts the first percentage appearing in a note line.
+func lastNotePct(b *testing.B, note string) float64 {
+	b.Helper()
+	for _, tok := range strings.Fields(note) {
+		tok = strings.TrimSuffix(strings.TrimSuffix(tok, ","), "%")
+		if v, err := strconv.ParseFloat(tok, 64); err == nil {
+			return v
+		}
+	}
+	b.Fatalf("no percentage in note %q", note)
+	return 0
+}
+
+// BenchmarkCellAccuracy regenerates the §2.1.2 cell-model accuracy check
+// (E1): analytical (a,b,c)+MGF moments vs Monte Carlo, all cells and
+// states. Paper: mean err avg 0.44 % (max < 2 %), σ err avg 3.1 % (max
+// ≈ 10 %).
+func BenchmarkCellAccuracy(b *testing.B) {
+	lib := benchLib(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.CellAccuracy(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(lastNotePct(b, t.Notes[0]), "avg-mean-err-%")
+			b.ReportMetric(lastNotePct(b, t.Notes[1]), "avg-std-err-%")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (E2): leakage correlation vs
+// channel-length correlation, MC vs the analytic f_{m,n} mapping.
+func BenchmarkFig2(b *testing.B) {
+	lib := benchLib(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig2(experiments.Fig2Config{Lib: lib, MCSamples: 30000, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(lastNotePct(b, t.Notes[0]), "max-dev-from-yx")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (E3): full-chip mean leakage vs
+// signal probability for several cell-usage profiles.
+func BenchmarkFig3(b *testing.B) {
+	lib := benchLib(b)
+	nandHeavy, _ := stats.NewHistogram(map[string]float64{"NAND2_X1": 4, "NAND3_X1": 2, "INV_X1": 2})
+	norHeavy, _ := stats.NewHistogram(map[string]float64{"NOR2_X1": 5, "INV_X1": 2, "OR2_X1": 1})
+	balanced := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig3(experiments.Fig3Config{
+			Lib: lib,
+			Profiles: map[string]*stats.Histogram{
+				"nand-heavy": nandHeavy, "nor-heavy": norHeavy, "balanced": balanced,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (E4): maximum deviation of random
+// circuits' true statistics from the RG estimate, shrinking with size up
+// to the paper's 106² = 11 236 gates.
+func BenchmarkFig6(b *testing.B) {
+	lib := benchLib(b)
+	hist := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig6(experiments.Fig6Config{
+			Lib:   lib,
+			Hist:  hist,
+			Sides: []int{10, 21, 45, 71, 106},
+			Reps:  5,
+			Seed:  6,
+			Mode:  core.Analytic,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(lastNotePct(b, t.Notes[0]), "envelope@11236-%")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (E5): late-mode RG estimation error
+// against the O(n²) true leakage on the nine ISCAS85 circuits. Paper:
+// 0.23 %–1.38 % σ error.
+func BenchmarkTable1(b *testing.B) {
+	lib := benchLib(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table1(experiments.Table1Config{Lib: lib, Seed: 1, Mode: core.Analytic})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(lastNotePct(b, t.Notes[0]), "worst-std-err-%")
+		}
+	}
+}
+
+// BenchmarkSimplifiedCorr regenerates the §3.1.2 check (E6): the error of
+// assuming ρ_leak = ρ_L instead of the exact mapping, WID-only and
+// WID+D2D. Paper: below 2.8 %.
+func BenchmarkSimplifiedCorr(b *testing.B) {
+	lib := benchLib(b)
+	hist := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.SimplifiedCorr(experiments.SimplifiedCorrConfig{
+			Lib: lib, Hist: hist, Sides: []int{32, 71},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+			b.ReportMetric(lastNotePct(b, t.Notes[0]), "worst-err-%")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (E7): % error between the
+// constant-time integration and the linear-time algorithm across circuit
+// sizes. Paper: > 1 % below ~100 gates, < 0.01 % beyond 10⁴.
+func BenchmarkFig7(b *testing.B) {
+	lib := benchLib(b)
+	hist := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig7(experiments.Fig7Config{
+			Lib:   lib,
+			Hist:  hist,
+			Sides: []int{5, 8, 16, 32, 71, 106, 178, 316, 562, 1000},
+			Mode:  core.Analytic,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkVtAblation regenerates the §2.1 Vt claim (E9): random Vt
+// multiplies the mean but leaves the full-chip spread essentially
+// unchanged.
+func BenchmarkVtAblation(b *testing.B) {
+	lib := benchLib(b)
+	hist := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.VtAblation(experiments.VtAblationConfig{
+			Lib: lib, Hist: hist, Sides: []int{16, 32}, Samples: 800, Seed: 9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkNaiveBaseline regenerates the E10 comparison: the early
+// no-correlation estimators underestimate σ by a growing factor.
+func BenchmarkNaiveBaseline(b *testing.B) {
+	lib := benchLib(b)
+	hist := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.NaiveBaseline(experiments.NaiveBaselineConfig{
+			Lib: lib, Hist: hist, Sides: []int{10, 32, 100, 316}, Mode: core.Analytic,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkEstimatorScaling regenerates E11: wall-clock scaling of the
+// O(n²), O(n) and O(1) estimators.
+func BenchmarkEstimatorScaling(b *testing.B) {
+	lib := benchLib(b)
+	hist := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Scaling(experiments.ScalingConfig{
+			Lib: lib, Hist: hist,
+			TrueSides: []int{16, 32},
+			FastSides: []int{32, 100, 316, 1000},
+			Seed:      3, Mode: core.Analytic,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkGateLeakAblation regenerates the EX1 extension: enabling gate
+// tunneling raises the mean and dilutes the relative spread.
+func BenchmarkGateLeakAblation(b *testing.B) {
+	hist := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.GateLeakAblation(experiments.GateLeakConfig{
+			Hist: hist, Side: 32, Seed: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkFastTrueLeakage measures the tiled approximate truth against the
+// exact O(n²) at c7552 scale.
+func BenchmarkFastTrueLeakage(b *testing.B) {
+	lib := benchLib(b)
+	est, err := NewEstimator(lib, experiments.ChipProcess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, pl, err := ISCASCircuit(lib, "c7552", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.FastTrueLeakage(nl, pl, 0.5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTemperatureSweep regenerates EX3: full-chip leakage statistics
+// across junction temperature, with per-temperature re-characterization.
+func BenchmarkTemperatureSweep(b *testing.B) {
+	hist := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TemperatureSweep(experiments.TemperatureConfig{
+			Hist: hist, Side: 32, Seed: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkSignalPropagation regenerates EX4: per-net propagated signal
+// probabilities vs the uniform abstraction.
+func BenchmarkSignalPropagation(b *testing.B) {
+	lib := benchLib(b)
+	hist := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.SignalPropagation(experiments.SigPropConfig{
+			Lib: lib, Hist: hist, Side: 32, Seed: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkEstimateLinear measures the raw linear-time estimator on a
+// million-gate design (the paper's "order of millions" regime).
+func BenchmarkEstimateLinear(b *testing.B) {
+	lib := benchLib(b)
+	est, err := NewEstimator(lib, experiments.ChipProcess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	design := Design{Hist: benchHist(b), N: 1000000, W: 2000, H: 2000, SignalProb: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(design, Linear); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateConstantTime measures the constant-time integral
+// estimator on the same million-gate design.
+func BenchmarkEstimateConstantTime(b *testing.B) {
+	lib := benchLib(b)
+	est, err := NewEstimator(lib, experiments.ChipProcess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	design := Design{Hist: benchHist(b), N: 1000000, W: 2000, H: 2000, SignalProb: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(design, Integral2D); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrueLeakage measures the O(n²) baseline at ISCAS scale.
+func BenchmarkTrueLeakage(b *testing.B) {
+	lib := benchLib(b)
+	est, err := NewEstimator(lib, experiments.ChipProcess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, pl, err := ISCASCircuit(lib, "c880", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.TrueLeakage(nl, pl, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridCompare regenerates EX2: the Random-Gate estimator vs a
+// grid-based prior-work spatial model, both against the exact O(n²) σ.
+func BenchmarkGridCompare(b *testing.B) {
+	lib := benchLib(b)
+	hist := benchHist(b)
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.GridCompare(experiments.GridCompareConfig{
+			Lib: lib, Hist: hist, Side: 45, Seed: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+// BenchmarkFloorplan measures the floorplan-level early estimator on a
+// three-block heterogeneous chip (logic + SRAM + registers).
+func BenchmarkFloorplan(b *testing.B) {
+	lib := benchLib(b)
+	proc := experiments.ChipProcess()
+	est, err := NewEstimator(lib, proc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	logic := benchHist(b)
+	sram, _ := stats.NewHistogram(map[string]float64{"INV_X1": 1, "NAND2_X1": 1})
+	blocks := []Block{
+		{Name: "logic", Spec: Design{Hist: logic, N: 40000, W: 400, H: 200, SignalProb: 0.5}},
+		{Name: "array", Spec: Design{Hist: sram, N: 90000, W: 600, H: 300, SignalProb: 0.5}, X: 420},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateFloorplan(blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

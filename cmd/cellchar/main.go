@@ -1,0 +1,80 @@
+// Command cellchar characterizes the built-in standard-cell library for
+// statistical leakage and writes the result as JSON for reuse by the other
+// tools. It optionally prints the §2.1.2 accuracy report comparing the
+// analytical (a, b, c)+MGF moments against Monte Carlo.
+//
+// Usage:
+//
+//	cellchar -out library.json [-subset full|core|iscas] [-mc 20000] [-report]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leakest/internal/cells"
+	"leakest/internal/charlib"
+	"leakest/internal/experiments"
+	"leakest/internal/spatial"
+)
+
+func main() {
+	out := flag.String("out", "library.json", "output path for the characterized library")
+	subset := flag.String("subset", "full", "cell subset: full (62 cells), core, or iscas")
+	mcSamples := flag.Int("mc", 20000, "Monte-Carlo samples per cell state")
+	seed := flag.Int64("seed", 20070604, "random seed")
+	report := flag.Bool("report", false, "print the fit-vs-MC accuracy table (paper §2.1.2)")
+	sigma := flag.Float64("sigma", 0, "override total channel-length sigma in µm (0 = default 4% of L)")
+	flag.Parse()
+
+	var cellList []*cells.Cell
+	switch *subset {
+	case "full":
+		cellList = cells.Library()
+	case "core":
+		cellList = cells.CoreSubset()
+	case "iscas":
+		cellList = cells.ISCASSubset()
+	default:
+		fmt.Fprintf(os.Stderr, "cellchar: unknown subset %q\n", *subset)
+		os.Exit(2)
+	}
+
+	proc := spatial.Default90nm()
+	if *sigma > 0 {
+		// Keep the 50/50 D2D/WID split at the requested total.
+		proc.SigmaD2D = *sigma * 0.7071067811865476
+		proc.SigmaWID = proc.SigmaD2D
+	}
+	fmt.Fprintf(os.Stderr, "characterizing %d cells (process: L=%g µm, σ=%g µm, %s)...\n",
+		len(cellList), proc.LNominal, proc.TotalSigma(), proc.WIDCorr.Name())
+
+	lib, err := charlib.Characterize(cellList, charlib.Config{
+		Process:   proc,
+		MCSamples: *mcSamples,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellchar: %v\n", err)
+		os.Exit(1)
+	}
+	if err := lib.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "cellchar: %v\n", err)
+		os.Exit(1)
+	}
+	states := 0
+	for _, cc := range lib.Cells {
+		states += len(cc.States)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d cells, %d states)\n", *out, len(lib.Cells), states)
+
+	if *report {
+		t, err := experiments.CellAccuracy(lib)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellchar: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(t.String())
+	}
+}

@@ -1,0 +1,212 @@
+// Command leakest estimates full-chip leakage statistics with the
+// Random-Gate model of the DAC 2007 paper.
+//
+// Early mode (design characteristics as expectations):
+//
+//	leakest -n 250000 -w 1000 -h 1000 -hist "INV_X1:3,NAND2_X1:2,NOR2_X1:1"
+//
+// Late mode (extract characteristics from a placed netlist):
+//
+//	leakest -bench c432.bench [-truth]
+//
+// A characterized library JSON (from cellchar) can be supplied with -lib;
+// otherwise the built-in ISCAS cell subset is characterized on the fly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"leakest"
+	"leakest/internal/cells"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "leakest: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseHist(s string) (*leakest.Histogram, error) {
+	weights := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad histogram entry %q (want CELL:WEIGHT)", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight in %q: %v", part, err)
+		}
+		weights[strings.TrimSpace(kv[0])] = w
+	}
+	return leakest.NewHistogram(weights)
+}
+
+func parseMethod(s string) (leakest.Method, error) {
+	switch s {
+	case "auto":
+		return leakest.Auto, nil
+	case "linear":
+		return leakest.Linear, nil
+	case "integral":
+		return leakest.Integral2D, nil
+	case "polar":
+		return leakest.Polar, nil
+	case "naive":
+		return leakest.Naive, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (auto|linear|integral|polar|naive)", s)
+	}
+}
+
+func main() {
+	libPath := flag.String("lib", "", "characterized library JSON (from cellchar); default: characterize built-in cells")
+	full := flag.Bool("full", false, "with no -lib: characterize the full 62-cell library instead of the ISCAS subset")
+	benchPath := flag.String("bench", "", "late mode: ISCAS85 .bench netlist to estimate")
+	histFlag := flag.String("hist", "", "early mode: cell-usage histogram, e.g. \"INV_X1:3,NAND2_X1:2\"")
+	n := flag.Int("n", 0, "early mode: number of cells")
+	w := flag.Float64("w", 0, "early mode: layout width in µm")
+	h := flag.Float64("h", 0, "early mode: layout height in µm")
+	p := flag.Float64("p", -1, "signal probability; -1 = use the leakage-maximizing setting")
+	methodFlag := flag.String("method", "auto", "estimator: auto|linear|integral|polar|naive")
+	truth := flag.Bool("truth", false, "late mode: also compute the O(n²) true leakage for comparison")
+	mc := flag.Int("mc", 0, "late mode: also run a full-chip Monte Carlo with this many samples")
+	vt := flag.Bool("vt", true, "apply the random-Vt mean correction")
+	seed := flag.Int64("seed", 1, "random seed (placement of -bench netlists)")
+	reportPath := flag.String("report", "", "write a markdown sign-off report to this path")
+	flag.Parse()
+
+	method, err := parseMethod(*methodFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var lib *leakest.Library
+	switch {
+	case *libPath != "":
+		lib, err = leakest.LoadLibrary(*libPath)
+		if err != nil {
+			fail("loading library: %v", err)
+		}
+	case *full:
+		fmt.Fprintln(os.Stderr, "characterizing the full 62-cell library (~10 s)...")
+		lib, err = leakest.DefaultLibrary()
+		if err != nil {
+			fail("characterizing: %v", err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "characterizing the built-in ISCAS cell subset...")
+		lib, err = leakest.Characterize(cells.ISCASSubset(), leakest.CharConfig{
+			Process: leakest.DefaultProcess(), Seed: 20070604,
+		})
+		if err != nil {
+			fail("characterizing: %v", err)
+		}
+	}
+
+	est, err := leakest.NewEstimator(lib, nil)
+	if err != nil {
+		fail("%v", err)
+	}
+	est.ApplyVtMean = *vt
+
+	var design leakest.Design
+	var nl *leakest.Netlist
+	var pl *leakest.Placement
+	if *benchPath != "" {
+		nl, err = leakest.ReadBenchFile(*benchPath)
+		if err != nil {
+			fail("reading %s: %v", *benchPath, err)
+		}
+		pl, err = leakest.AutoPlace(nl, *seed)
+		if err != nil {
+			fail("placing: %v", err)
+		}
+		design, err = est.ExtractDesign(nl, pl, 0.5)
+		if err != nil {
+			fail("extracting characteristics: %v", err)
+		}
+		fmt.Printf("late mode: %s — %d gates, %d cell types, die %.1f×%.1f µm\n",
+			nl.Name, design.N, design.Hist.Len(), design.W, design.H)
+	} else {
+		if *histFlag == "" || *n == 0 || *w == 0 || *h == 0 {
+			fail("early mode needs -hist, -n, -w and -h (or use -bench FILE); see -help")
+		}
+		hist, err := parseHist(*histFlag)
+		if err != nil {
+			fail("%v", err)
+		}
+		design = leakest.Design{Hist: hist, N: *n, W: *w, H: *h}
+		fmt.Printf("early mode: %d gates, %d cell types, die %.1f×%.1f µm\n",
+			design.N, design.Hist.Len(), design.W, design.H)
+	}
+
+	if *p < 0 {
+		pStar, err := est.MaxLeakageSignalProb(design.Hist)
+		if err != nil {
+			fail("maximizing signal probability: %v", err)
+		}
+		design.SignalProb = pStar
+		fmt.Printf("signal probability: %.3f (leakage-maximizing, conservative)\n", pStar)
+	} else {
+		design.SignalProb = *p
+		fmt.Printf("signal probability: %.3f\n", *p)
+	}
+
+	res, err := est.Estimate(design, method)
+	if err != nil {
+		fail("estimating: %v", err)
+	}
+	fmt.Printf("\nmethod: %s", res.Method)
+	if res.Note != "" {
+		fmt.Printf(" (%s)", res.Note)
+	}
+	fmt.Printf("\nmean leakage: %.4g A\nstd  leakage: %.4g A  (%.2f%% of mean)\n",
+		res.Mean, res.Std, 100*res.Std/res.Mean)
+	fmt.Printf("mean + 3σ:    %.4g A\n", res.Mean+3*res.Std)
+
+	if *truth && nl != nil {
+		tr, err := est.TrueLeakage(nl, pl, design.SignalProb)
+		if err != nil {
+			fail("true leakage: %v", err)
+		}
+		fmt.Printf("\ntrue O(n²):   mean %.4g A, std %.4g A\n", tr.Mean, tr.Std)
+		fmt.Printf("estimate err: mean %+.2f%%, std %+.2f%%\n",
+			100*(res.Mean-tr.Mean)/tr.Mean, 100*(res.Std-tr.Std)/tr.Std)
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fail("creating report: %v", err)
+		}
+		title := "Full-chip leakage sign-off"
+		if nl != nil {
+			title = "Leakage sign-off: " + nl.Name
+		}
+		if err := est.Report(f, title, design); err != nil {
+			fail("writing report: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing report: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *reportPath)
+	}
+	if *mc > 0 && nl != nil {
+		if est.ApplyVtMean {
+			fmt.Fprintln(os.Stderr, "note: Monte Carlo below excludes the Vt mean factor")
+		}
+		r, err := est.MonteCarlo(nl, pl, design.SignalProb, *mc, *seed)
+		if err != nil {
+			fail("monte carlo: %v", err)
+		}
+		fmt.Printf("\nchip MC (%d): mean %.4g A, std %.4g A, 5th–95th pct [%.4g, %.4g] A\n",
+			r.Samples, r.Mean, r.Std, r.Q05, r.Q95)
+	}
+}

@@ -1,0 +1,209 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section (and the ablations catalogued in DESIGN.md) and prints
+// them as plain-text tables with notes comparing against the numbers the
+// paper reports.
+//
+// Usage:
+//
+//	paperfigs                 # run everything at paper scale
+//	paperfigs -exp table1     # one experiment
+//	paperfigs -quick          # reduced sizes for a fast smoke run
+//
+// Experiments: cellacc (E1/§2.1.2), fig2 (E2), fig3 (E3), fig6 (E4),
+// table1 (E5/Table 1), simplcorr (E6/§3.1.2), fig7 (E7), vt (E9),
+// naive (E10), scaling (E11), gateleak (EX1 extension), gridcmp (EX2
+// grid-model comparison), temp (EX3 temperature sweep), sigprop (EX4
+// propagated signal probabilities).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"leakest/internal/charlib"
+	"leakest/internal/core"
+	"leakest/internal/experiments"
+	"leakest/internal/stats"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paperfigs: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all|cellacc|fig2|fig3|fig6|table1|simplcorr|fig7|vt|naive|gateleak|gridcmp|temp|sigprop|scaling)")
+	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+	seed := flag.Int64("seed", 1, "random seed")
+	fullLib := flag.Bool("fulllib", false, "use the full 62-cell library where possible (slower characterization)")
+	flag.Parse()
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	// The chip-level experiments use the ISCAS cell subset (its mixes are
+	// what the benchmark circuits instantiate); cellacc and fig3 can use
+	// the full library.
+	fmt.Fprintln(os.Stderr, "characterizing cell library...")
+	lib, err := charlib.SharedISCAS()
+	if err != nil {
+		fail("%v", err)
+	}
+	wideLib := lib
+	if *fullLib {
+		fmt.Fprintln(os.Stderr, "characterizing the full 62-cell library (~10 s)...")
+		wideLib, err = charlib.SharedFull()
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+
+	hist, err := stats.NewHistogram(map[string]float64{
+		"INV_X1": 25, "BUF_X1": 5, "NAND2_X1": 25, "NAND3_X1": 8,
+		"NOR2_X1": 15, "AND2_X1": 12, "OR2_X1": 6, "XOR2_X1": 4,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	pick := func(full, reduced []int) []int {
+		if *quick {
+			return reduced
+		}
+		return full
+	}
+	ran := 0
+	run := func(name string, fn func() (*experiments.Table, error)) {
+		if !want(name) {
+			return
+		}
+		ran++
+		start := time.Now()
+		t, err := fn()
+		if err != nil {
+			fail("%s: %v", name, err)
+		}
+		fmt.Println(t.String())
+		fmt.Fprintf(os.Stderr, "[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("cellacc", func() (*experiments.Table, error) {
+		return experiments.CellAccuracy(wideLib)
+	})
+	run("fig2", func() (*experiments.Table, error) {
+		samples := 60000
+		if *quick {
+			samples = 8000
+		}
+		return experiments.Fig2(experiments.Fig2Config{Lib: lib, MCSamples: samples, Seed: *seed})
+	})
+	run("fig3", func() (*experiments.Table, error) {
+		nandHeavy, err := stats.NewHistogram(map[string]float64{"NAND2_X1": 4, "NAND3_X1": 2, "INV_X1": 2})
+		if err != nil {
+			return nil, err
+		}
+		norHeavy, err := stats.NewHistogram(map[string]float64{"NOR2_X1": 5, "INV_X1": 2, "OR2_X1": 1})
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Fig3(experiments.Fig3Config{
+			Lib: lib,
+			Profiles: map[string]*stats.Histogram{
+				"nand-heavy": nandHeavy, "nor-heavy": norHeavy, "balanced": hist,
+			},
+		})
+	})
+	run("fig6", func() (*experiments.Table, error) {
+		return experiments.Fig6(experiments.Fig6Config{
+			Lib:   lib,
+			Hist:  hist,
+			Sides: pick([]int{10, 21, 32, 45, 71, 106}, []int{8, 16, 32}),
+			Reps:  pickInt(*quick, 10, 4),
+			Seed:  *seed,
+			Mode:  core.Analytic,
+		})
+	})
+	run("table1", func() (*experiments.Table, error) {
+		return experiments.Table1(experiments.Table1Config{Lib: lib, Seed: *seed, Mode: core.Analytic})
+	})
+	run("simplcorr", func() (*experiments.Table, error) {
+		return experiments.SimplifiedCorr(experiments.SimplifiedCorrConfig{
+			Lib: lib, Hist: hist, Sides: pick([]int{32, 71, 106}, []int{16, 32}),
+		})
+	})
+	run("fig7", func() (*experiments.Table, error) {
+		return experiments.Fig7(experiments.Fig7Config{
+			Lib:   lib,
+			Hist:  hist,
+			Sides: pick([]int{5, 8, 16, 32, 71, 106, 178, 316, 562, 1000}, []int{5, 16, 64}),
+			Mode:  core.Analytic,
+		})
+	})
+	run("vt", func() (*experiments.Table, error) {
+		return experiments.VtAblation(experiments.VtAblationConfig{
+			Lib: lib, Hist: hist,
+			Sides:   pick([]int{16, 32, 50}, []int{10}),
+			Samples: pickInt(*quick, 1500, 300),
+			Seed:    *seed,
+		})
+	})
+	run("naive", func() (*experiments.Table, error) {
+		return experiments.NaiveBaseline(experiments.NaiveBaselineConfig{
+			Lib: lib, Hist: hist,
+			Sides: pick([]int{10, 32, 100, 316, 1000}, []int{10, 32}),
+			Mode:  core.Analytic,
+		})
+	})
+	run("gateleak", func() (*experiments.Table, error) {
+		return experiments.GateLeakAblation(experiments.GateLeakConfig{
+			Hist: hist,
+			Side: pickInt(*quick, 45, 16),
+			Seed: *seed,
+		})
+	})
+	run("gridcmp", func() (*experiments.Table, error) {
+		return experiments.GridCompare(experiments.GridCompareConfig{
+			Lib:  lib,
+			Hist: hist,
+			Side: pickInt(*quick, 45, 16),
+			Seed: *seed,
+		})
+	})
+	run("temp", func() (*experiments.Table, error) {
+		return experiments.TemperatureSweep(experiments.TemperatureConfig{
+			Hist: hist,
+			Side: pickInt(*quick, 32, 10),
+			Seed: *seed,
+		})
+	})
+	run("sigprop", func() (*experiments.Table, error) {
+		return experiments.SignalPropagation(experiments.SigPropConfig{
+			Lib:  lib,
+			Hist: hist,
+			Side: pickInt(*quick, 32, 12),
+			Seed: *seed,
+		})
+	})
+	run("scaling", func() (*experiments.Table, error) {
+		return experiments.Scaling(experiments.ScalingConfig{
+			Lib: lib, Hist: hist,
+			TrueSides: pick([]int{16, 32, 59}, []int{10, 16}),
+			FastSides: pick([]int{32, 100, 316, 1000}, []int{32, 100}),
+			Seed:      *seed,
+			Mode:      core.Analytic,
+		})
+	})
+	if ran == 0 {
+		known := []string{"all", "cellacc", "fig2", "fig3", "fig6", "table1", "simplcorr", "fig7", "vt", "naive", "gateleak", "gridcmp", "temp", "sigprop", "scaling"}
+		fail("unknown experiment %q (known: %s)", *exp, strings.Join(known, ", "))
+	}
+}
+
+func pickInt(quick bool, full, reduced int) int {
+	if quick {
+		return reduced
+	}
+	return full
+}

@@ -1,0 +1,198 @@
+package leakest
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"leakest/internal/charlib"
+	"leakest/internal/chipmc"
+	"leakest/internal/core"
+	"leakest/internal/iscas"
+	"leakest/internal/netlist"
+	"leakest/internal/placement"
+	"leakest/internal/stats"
+)
+
+// arityOf builds the pin-count lookup the netlist substrate needs from a
+// characterized library.
+func arityOf(lib *Library) netlist.CellArity {
+	return func(typ string) (int, error) {
+		cc, err := lib.Cell(typ)
+		if err != nil {
+			return 0, err
+		}
+		return cc.NumInputs, nil
+	}
+}
+
+// RandomCircuit generates a random netlist of n gates whose types follow
+// hist — a member of the paper's "set of all designs sharing the same
+// high-level characteristics".
+func RandomCircuit(lib *Library, seed int64, name string, n, numPI int, hist *Histogram) (*Netlist, error) {
+	rng := stats.NewRNG(seed, "public/"+name)
+	return netlist.RandomCircuit(rng, name, n, numPI, hist, arityOf(lib))
+}
+
+// AutoPlace places a netlist's gates on distinct uniformly random sites of
+// an automatically sized square grid at the default site pitch.
+func AutoPlace(nl *Netlist, seed int64) (*Placement, error) {
+	grid, err := placement.AutoGrid(len(nl.Gates))
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed, "place/"+nl.Name)
+	return placement.Random(rng, grid, len(nl.Gates))
+}
+
+// ReadBench parses an ISCAS85 ".bench" netlist, mapping generic Boolean
+// operators to the built-in library's X1 cells.
+func ReadBench(r io.Reader, name string) (*Netlist, error) {
+	return netlist.ReadBench(r, name, netlist.DefaultTechMap())
+}
+
+// ReadBenchFile parses a ".bench" netlist from a file.
+func ReadBenchFile(path string) (*Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBench(f, trimExt(path))
+}
+
+// WriteBench renders a netlist in ISCAS85 ".bench" format.
+func WriteBench(w io.Writer, nl *Netlist) error {
+	return netlist.WriteBench(w, nl, netlist.DefaultTechMap())
+}
+
+func trimExt(path string) string {
+	base := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			base = path[i+1:]
+			break
+		}
+	}
+	for i := len(base) - 1; i >= 0; i-- {
+		if base[i] == '.' {
+			return base[:i]
+		}
+	}
+	return base
+}
+
+// ISCASCircuit synthesizes one of the ISCAS85 stand-in benchmarks (c432 …
+// c7552) with its published gate count and a function-appropriate cell mix,
+// placed on the uniform site grid. Deterministic per seed.
+func ISCASCircuit(lib *Library, name string, seed int64) (*Netlist, *Placement, error) {
+	ckt, err := iscas.Build(name, seed, arityOf(lib))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ckt.Netlist, ckt.Placement, nil
+}
+
+// ISCASNames lists the available benchmark circuits, smallest first.
+func ISCASNames() []string { return iscas.Names() }
+
+// MonteCarloResult summarizes a full-chip Monte-Carlo run.
+type MonteCarloResult = chipmc.Result
+
+// MonteCarlo samples the full-chip leakage distribution of a placed design
+// directly: a spatially correlated channel-length field is drawn per trial
+// and every gate's leakage is evaluated from its characterization curve.
+// It is limited to a few thousand gates (dense field factorization) and
+// serves as an independent ground truth for the analytic estimators.
+func (e *Estimator) MonteCarlo(nl *Netlist, pl *Placement, signalProb float64, samples int, seed int64) (MonteCarloResult, error) {
+	return chipmc.Run(chipmc.Config{
+		Lib:        e.lib,
+		Proc:       e.proc,
+		SignalProb: signalProb,
+		Samples:    samples,
+		Seed:       seed,
+	}, nl, pl)
+}
+
+// DesignStatsAtSignalProb returns the per-gate effective leakage mean and
+// standard deviation of a design histogram at signal probability p — the
+// quantity swept in the paper's Fig. 3.
+func (e *Estimator) DesignStatsAtSignalProb(hist *Histogram, p float64) (mean, std float64, err error) {
+	return charlib.DesignStatsAtP(e.lib, hist, p, e.mode == MCSimplified)
+}
+
+// SaveLibrary writes a characterized library to a file for reuse by the
+// command-line tools.
+func SaveLibrary(lib *Library, path string) error {
+	if lib == nil {
+		return fmt.Errorf("leakest: nil library")
+	}
+	return lib.SaveFile(path)
+}
+
+// Distribution is a two-moment lognormal picture of full-chip leakage,
+// providing quantiles, exceedance probabilities and yield budgets on top of
+// the estimated (mean, σ).
+type Distribution = core.Distribution
+
+// VarianceBreakdown decomposes the leakage variance into independent,
+// die-to-die, and within-die-correlation contributions.
+type VarianceBreakdown = core.VarianceBreakdown
+
+// DistributionOf matches a lognormal distribution to an estimation result
+// (the Wilkinson/Fenton approximation; validated against the full-chip
+// Monte Carlo).
+func DistributionOf(r Result) (Distribution, error) { return core.DistributionOf(r) }
+
+// Breakdown returns the variance decomposition of a design under the
+// linear-time estimator, explaining how much of the spread is independent
+// noise, shared die-to-die shift, and within-die correlation.
+func (e *Estimator) Breakdown(design Design) (VarianceBreakdown, error) {
+	m, err := e.model(design)
+	if err != nil {
+		return VarianceBreakdown{}, err
+	}
+	return m.BreakdownLinear()
+}
+
+// FastTrueLeakage approximates the O(n²) true leakage by spatial tiling
+// (tile edge in µm; 0 selects an automatic fraction of the correlation
+// length). It trades sub-percent σ accuracy for near-linear runtime on
+// large placed designs.
+func (e *Estimator) FastTrueLeakage(nl *Netlist, pl *Placement, signalProb, tile float64) (Result, error) {
+	design, err := e.ExtractDesign(nl, pl, signalProb)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := e.model(design)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := core.FastTrueStats(m, nl, pl, tile)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.finish(res), nil
+}
+
+// Block is one rectangular region of a heterogeneous floorplan, with its
+// own cell population (see EstimateFloorplan).
+type Block = core.Block
+
+// FloorplanResult carries combined and per-block floorplan statistics.
+type FloorplanResult = core.FloorplanResult
+
+// EstimateFloorplan performs floorplan-level early estimation: each
+// non-overlapping block is its own Random-Gate population, intra-block
+// variance is exact (linear method) and inter-block covariance is
+// aggregated over block tiles. An extension of the paper's single-
+// population model to heterogeneous chips; validated against placed-design
+// truth in the core tests.
+func (e *Estimator) EstimateFloorplan(blocks []Block) (FloorplanResult, error) {
+	fp, err := core.EstimateFloorplan(e.lib, e.proc, blocks, e.mode)
+	if err != nil {
+		return FloorplanResult{}, err
+	}
+	fp.Total = e.finish(fp.Total)
+	return fp, nil
+}

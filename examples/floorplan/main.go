@@ -1,0 +1,103 @@
+// Floorplan-level early estimation: a heterogeneous SoC — logic core,
+// SRAM array, and a register-file block — is estimated block by block and
+// combined with inter-block correlation, before any netlist exists. The
+// breakdown shows which block owns the leakage budget and how much the
+// blocks' spatial proximity adds through within-die correlation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leakest"
+	"leakest/internal/cells"
+)
+
+func main() {
+	// Characterize the cells the blocks use (core subset: logic + DFF +
+	// SRAM topologies).
+	lib, err := leakest.Characterize(cells.CoreSubset(), leakest.CharConfig{
+		Process: leakest.DefaultProcess(), Seed: 1, MCSamples: 4000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc := leakest.DefaultProcess()
+	proc.WIDCorr = leakest.TruncatedExpCorr{Lambda: 250, R: 1000}
+	est, err := leakest.NewEstimator(lib, proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est.ApplyVtMean = true
+
+	logic, err := leakest.NewHistogram(map[string]float64{
+		"INV_X1": 20, "NAND2_X1": 28, "NAND3_X1": 10, "NOR2_X1": 18,
+		"AOI21_X1": 10, "XOR2_X1": 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sram, err := leakest.NewHistogram(map[string]float64{
+		"SRAM6T": 93, "INV_X1": 4, "NAND2_X1": 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	regs, err := leakest.NewHistogram(map[string]float64{
+		"DFF_X1": 62, "INV_X1": 18, "NAND2_X1": 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	blocks := []leakest.Block{
+		{
+			Name: "cpu-logic",
+			Spec: leakest.Design{Hist: logic, N: 600_000, W: 1600, H: 1500, SignalProb: 0.5},
+			X:    0, Y: 0,
+		},
+		{
+			Name: "l2-sram",
+			Spec: leakest.Design{Hist: sram, N: 2_200_000, W: 2000, H: 1500, SignalProb: 0.5},
+			X:    1700, Y: 0,
+		},
+		{
+			Name: "regfile",
+			Spec: leakest.Design{Hist: regs, N: 150_000, W: 700, H: 700, SignalProb: 0.5},
+			X:    0, Y: 1600,
+		},
+	}
+
+	fp, err := est.EstimateFloorplan(blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("floorplan-level early leakage budget")
+	fmt.Printf("%-12s %10s %12s %12s %8s\n", "block", "gates", "mean (A)", "std (A)", "share")
+	for i, b := range blocks {
+		r := fp.PerBlock[i]
+		fmt.Printf("%-12s %10d %12.4g %12.4g %7.1f%%\n",
+			b.Name, b.Spec.N, r.Mean, r.Std, 100*r.Mean/sumMeans(fp))
+	}
+	fmt.Printf("\nfull chip:   mean %.4g A, σ %.4g A (%s)\n",
+		fp.Total.Mean, fp.Total.Std, fp.Total.Note)
+	fmt.Printf("inter-block correlation adds %.3g A² of variance (%.1f%% of total σ²)\n",
+		fp.InterBlockCov, 100*fp.InterBlockCov/(fp.Total.Std*fp.Total.Std))
+
+	dist, err := leakest.DistributionOf(fp.Total)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("p95 leakage corner: %.4g A\n", dist.Quantile(0.95))
+	fmt.Println("\nthe SRAM array dominates the budget — early enough to resize it,")
+	fmt.Println("swap in high-Vt bit cells, or plan power gating, before RTL exists")
+}
+
+func sumMeans(fp leakest.FloorplanResult) float64 {
+	s := 0.0
+	for _, r := range fp.PerBlock {
+		s += r.Mean
+	}
+	return s
+}

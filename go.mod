@@ -1,0 +1,3 @@
+module leakest
+
+go 1.22

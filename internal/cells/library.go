@@ -1,0 +1,823 @@
+package cells
+
+import (
+	"fmt"
+	"sort"
+
+	"leakest/internal/circuit"
+	"leakest/internal/device"
+)
+
+// Base device widths in µm for a unit-drive (X1) cell; PMOS are twice as
+// wide to balance the lower hole mobility. Devices in an n-deep series
+// stack are n× wider, the usual logical-effort sizing.
+const (
+	baseWN = 0.3
+	baseWP = 0.6
+	lNom   = 0.09
+	vdd    = 1.0
+)
+
+func nmos(w float64) device.MOSFET { return device.NewMOSFET(device.NMOS, w, lNom) }
+func pmos(w float64) device.MOSFET { return device.NewMOSFET(device.PMOS, w, lNom) }
+
+// nDev and pDev return leaf networks with the stack-compensated width
+// w = base·drive·stack.
+func nDev(pin int, drive, stack float64) *circuit.Network {
+	return circuit.Dev(nmos(baseWN*drive*stack), pin)
+}
+
+func pDev(pin int, drive, stack float64) *circuit.Network {
+	return circuit.Dev(pmos(baseWP*drive*stack), pin)
+}
+
+// invStage builds an inverter of the given drive on input pin `in`.
+func invStage(in int, drive float64) Stage {
+	return Stage{
+		PUN:   pDev(in, drive, 1),
+		PDN:   nDev(in, drive, 1),
+		Logic: func(sig []bool) bool { return !sig[in] },
+	}
+}
+
+// nandStage builds a k-input NAND: series NMOS stack, parallel PMOS.
+func nandStage(ins []int, drive float64) Stage {
+	k := float64(len(ins))
+	var ns, ps []*circuit.Network
+	for _, in := range ins {
+		ns = append(ns, nDev(in, drive, k))
+		ps = append(ps, pDev(in, drive, 1))
+	}
+	pins := append([]int(nil), ins...)
+	return Stage{
+		PUN: circuit.Parallel(ps...),
+		PDN: circuit.Series(ns...),
+		Logic: func(sig []bool) bool {
+			for _, in := range pins {
+				if !sig[in] {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// norStage builds a k-input NOR: parallel NMOS, series PMOS stack.
+func norStage(ins []int, drive float64) Stage {
+	k := float64(len(ins))
+	var ns, ps []*circuit.Network
+	for _, in := range ins {
+		ns = append(ns, nDev(in, drive, 1))
+		ps = append(ps, pDev(in, drive, k))
+	}
+	pins := append([]int(nil), ins...)
+	return Stage{
+		PUN: circuit.Series(ps...),
+		PDN: circuit.Parallel(ns...),
+		Logic: func(sig []bool) bool {
+			for _, in := range pins {
+				if sig[in] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// derived builds a pure derived-signal stage with no hardware.
+func derived(logic func(sig []bool) bool) Stage {
+	return Stage{Logic: logic}
+}
+
+// aoi21Stage: out = !(a·b + c). PDN = (a·b) ∥ c, PUN is the dual.
+func aoi21Stage(a, b, c int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Parallel(
+			circuit.Series(nDev(a, drive, 2), nDev(b, drive, 2)),
+			nDev(c, drive, 1)),
+		PUN: circuit.Series(
+			circuit.Parallel(pDev(a, drive, 2), pDev(b, drive, 2)),
+			pDev(c, drive, 2)),
+		Logic: func(sig []bool) bool { return !(sig[a] && sig[b] || sig[c]) },
+	}
+}
+
+// oai21Stage: out = !((a+b)·c).
+func oai21Stage(a, b, c int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Series(
+			circuit.Parallel(nDev(a, drive, 2), nDev(b, drive, 2)),
+			nDev(c, drive, 2)),
+		PUN: circuit.Parallel(
+			circuit.Series(pDev(a, drive, 2), pDev(b, drive, 2)),
+			pDev(c, drive, 1)),
+		Logic: func(sig []bool) bool { return !((sig[a] || sig[b]) && sig[c]) },
+	}
+}
+
+// aoi22Stage: out = !(a·b + c·d).
+func aoi22Stage(a, b, c, d int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Parallel(
+			circuit.Series(nDev(a, drive, 2), nDev(b, drive, 2)),
+			circuit.Series(nDev(c, drive, 2), nDev(d, drive, 2))),
+		PUN: circuit.Series(
+			circuit.Parallel(pDev(a, drive, 2), pDev(b, drive, 2)),
+			circuit.Parallel(pDev(c, drive, 2), pDev(d, drive, 2))),
+		Logic: func(sig []bool) bool { return !(sig[a] && sig[b] || sig[c] && sig[d]) },
+	}
+}
+
+// oai22Stage: out = !((a+b)·(c+d)).
+func oai22Stage(a, b, c, d int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Series(
+			circuit.Parallel(nDev(a, drive, 2), nDev(b, drive, 2)),
+			circuit.Parallel(nDev(c, drive, 2), nDev(d, drive, 2))),
+		PUN: circuit.Parallel(
+			circuit.Series(pDev(a, drive, 2), pDev(b, drive, 2)),
+			circuit.Series(pDev(c, drive, 2), pDev(d, drive, 2))),
+		Logic: func(sig []bool) bool { return !((sig[a] || sig[b]) && (sig[c] || sig[d])) },
+	}
+}
+
+// aoi211Stage: out = !(a·b + c + d).
+func aoi211Stage(a, b, c, d int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Parallel(
+			circuit.Series(nDev(a, drive, 2), nDev(b, drive, 2)),
+			nDev(c, drive, 1), nDev(d, drive, 1)),
+		PUN: circuit.Series(
+			circuit.Parallel(pDev(a, drive, 3), pDev(b, drive, 3)),
+			pDev(c, drive, 3), pDev(d, drive, 3)),
+		Logic: func(sig []bool) bool { return !(sig[a] && sig[b] || sig[c] || sig[d]) },
+	}
+}
+
+// oai211Stage: out = !((a+b)·c·d).
+func oai211Stage(a, b, c, d int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Series(
+			circuit.Parallel(nDev(a, drive, 3), nDev(b, drive, 3)),
+			nDev(c, drive, 3), nDev(d, drive, 3)),
+		PUN: circuit.Parallel(
+			circuit.Series(pDev(a, drive, 2), pDev(b, drive, 2)),
+			pDev(c, drive, 1), pDev(d, drive, 1)),
+		Logic: func(sig []bool) bool { return !((sig[a] || sig[b]) && sig[c] && sig[d]) },
+	}
+}
+
+// aoi221Stage: out = !(a·b + c·d + e).
+func aoi221Stage(a, b, c, d, e int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Parallel(
+			circuit.Series(nDev(a, drive, 2), nDev(b, drive, 2)),
+			circuit.Series(nDev(c, drive, 2), nDev(d, drive, 2)),
+			nDev(e, drive, 1)),
+		PUN: circuit.Series(
+			circuit.Parallel(pDev(a, drive, 3), pDev(b, drive, 3)),
+			circuit.Parallel(pDev(c, drive, 3), pDev(d, drive, 3)),
+			pDev(e, drive, 3)),
+		Logic: func(sig []bool) bool {
+			return !(sig[a] && sig[b] || sig[c] && sig[d] || sig[e])
+		},
+	}
+}
+
+// oai221Stage: out = !((a+b)·(c+d)·e).
+func oai221Stage(a, b, c, d, e int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Series(
+			circuit.Parallel(nDev(a, drive, 3), nDev(b, drive, 3)),
+			circuit.Parallel(pinN(c, drive), pinN(d, drive)),
+			nDev(e, drive, 3)),
+		PUN: circuit.Parallel(
+			circuit.Series(pDev(a, drive, 2), pDev(b, drive, 2)),
+			circuit.Series(pDev(c, drive, 2), pDev(d, drive, 2)),
+			pDev(e, drive, 1)),
+		Logic: func(sig []bool) bool {
+			return !((sig[a] || sig[b]) && (sig[c] || sig[d]) && sig[e])
+		},
+	}
+}
+
+// pinN is nDev with stack 3 (helper to keep oai221Stage lines short).
+func pinN(pin int, drive float64) *circuit.Network { return nDev(pin, drive, 3) }
+
+// xorStage: out = a ⊕ b, given pre-inverted signals na = !a, nb = !b.
+func xorStage(a, na, b, nb int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Parallel(
+			circuit.Series(nDev(a, drive, 2), nDev(b, drive, 2)),
+			circuit.Series(nDev(na, drive, 2), nDev(nb, drive, 2))),
+		PUN: circuit.Parallel(
+			circuit.Series(pDev(a, drive, 2), pDev(nb, drive, 2)),
+			circuit.Series(pDev(na, drive, 2), pDev(b, drive, 2))),
+		Logic: func(sig []bool) bool { return sig[a] != sig[b] },
+	}
+}
+
+// xnorStage: out = !(a ⊕ b).
+func xnorStage(a, na, b, nb int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Parallel(
+			circuit.Series(nDev(a, drive, 2), nDev(nb, drive, 2)),
+			circuit.Series(nDev(na, drive, 2), nDev(b, drive, 2))),
+		PUN: circuit.Parallel(
+			circuit.Series(pDev(a, drive, 2), pDev(b, drive, 2)),
+			circuit.Series(pDev(na, drive, 2), pDev(nb, drive, 2))),
+		Logic: func(sig []bool) bool { return sig[a] == sig[b] },
+	}
+}
+
+// majInvStage: out = !(a·b + c·(a+b)), the mirror-adder carry gate.
+func majInvStage(a, b, c int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Parallel(
+			circuit.Series(nDev(a, drive, 2), nDev(b, drive, 2)),
+			circuit.Series(nDev(c, drive, 2), circuit.Parallel(nDev(a, drive, 2), nDev(b, drive, 2)))),
+		PUN: circuit.Parallel(
+			circuit.Series(pDev(a, drive, 2), pDev(b, drive, 2)),
+			circuit.Series(pDev(c, drive, 2), circuit.Parallel(pDev(a, drive, 2), pDev(b, drive, 2)))),
+		Logic: func(sig []bool) bool {
+			return !(sig[a] && sig[b] || sig[c] && (sig[a] || sig[b]))
+		},
+	}
+}
+
+// sumInvStage: out = !(a·b·c + cob·(a+b+c)), the mirror-adder sum gate,
+// where cob is the inverted carry signal.
+func sumInvStage(a, b, c, cob int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Parallel(
+			circuit.Series(nDev(a, drive, 3), nDev(b, drive, 3), nDev(c, drive, 3)),
+			circuit.Series(nDev(cob, drive, 2),
+				circuit.Parallel(nDev(a, drive, 2), nDev(b, drive, 2), nDev(c, drive, 2)))),
+		PUN: circuit.Parallel(
+			circuit.Series(pDev(a, drive, 3), pDev(b, drive, 3), pDev(c, drive, 3)),
+			circuit.Series(pDev(cob, drive, 2),
+				circuit.Parallel(pDev(a, drive, 2), pDev(b, drive, 2), pDev(c, drive, 2)))),
+		Logic: func(sig []bool) bool {
+			return !(sig[a] && sig[b] && sig[c] || sig[cob] && (sig[a] || sig[b] || sig[c]))
+		},
+	}
+}
+
+// mux2InvStage: out = !(d1·s + d0·ns), with ns = !s pre-inverted.
+func mux2InvStage(d0, d1, s, ns int, drive float64) Stage {
+	return Stage{
+		PDN: circuit.Parallel(
+			circuit.Series(nDev(d1, drive, 2), nDev(s, drive, 2)),
+			circuit.Series(nDev(d0, drive, 2), nDev(ns, drive, 2))),
+		PUN: circuit.Series(
+			circuit.Parallel(pDev(d1, drive, 2), pDev(s, drive, 2)),
+			circuit.Parallel(pDev(d0, drive, 2), pDev(ns, drive, 2))),
+		Logic: func(sig []bool) bool { return !(sig[d1] && sig[s] || sig[d0] && !sig[s]) },
+	}
+}
+
+// --- extras helpers for sequential cells ------------------------------
+
+// voltageOf converts a Boolean selector over the signal vector into a
+// voltage selector (rail levels).
+func voltageOf(idx int) func(v []float64) float64 { return circuit.Sig(idx) }
+
+// invExtras appends the two devices of an inverter whose input and output
+// node voltages are the signals at indices in and out.
+func invExtras(ex []circuit.BiasedDevice, in, out int) []circuit.BiasedDevice {
+	return append(ex,
+		circuit.BiasedDevice{Dev: pmos(baseWP), Gate: voltageOf(in), Source: circuit.Rail(vdd), Drain: voltageOf(out)},
+		circuit.BiasedDevice{Dev: nmos(baseWN), Gate: voltageOf(in), Source: circuit.Rail(0), Drain: voltageOf(out)},
+	)
+}
+
+// tgExtras appends a transmission gate between the nodes at signal indices
+// a and b, with NMOS gate at signal ngate and PMOS gate at signal pgate.
+func tgExtras(ex []circuit.BiasedDevice, a, b, ngate, pgate int) []circuit.BiasedDevice {
+	return append(ex,
+		circuit.BiasedDevice{Dev: nmos(baseWN), Gate: voltageOf(ngate), Source: voltageOf(a), Drain: voltageOf(b)},
+		circuit.BiasedDevice{Dev: pmos(baseWP), Gate: voltageOf(pgate), Source: voltageOf(a), Drain: voltageOf(b)},
+	)
+}
+
+// --- cell constructors --------------------------------------------------
+
+func newCell(name, class string, numInputs int) *Cell {
+	return &Cell{Name: name, Class: class, NumInputs: numInputs, Vdd: vdd}
+}
+
+func invCell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 1)
+	c.Stages = []Stage{invStage(0, drive)}
+	return c.finish()
+}
+
+func bufCell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 1)
+	c.Stages = []Stage{invStage(0, 1), invStage(1, drive)}
+	return c.finish()
+}
+
+func nandCell(name string, k int, drive float64) *Cell {
+	c := newCell(name, "comb", k)
+	ins := make([]int, k)
+	for i := range ins {
+		ins[i] = i
+	}
+	c.Stages = []Stage{nandStage(ins, drive)}
+	return c.finish()
+}
+
+func norCell(name string, k int, drive float64) *Cell {
+	c := newCell(name, "comb", k)
+	ins := make([]int, k)
+	for i := range ins {
+		ins[i] = i
+	}
+	c.Stages = []Stage{norStage(ins, drive)}
+	return c.finish()
+}
+
+func andCell(name string, k int, drive float64) *Cell {
+	c := newCell(name, "comb", k)
+	ins := make([]int, k)
+	for i := range ins {
+		ins[i] = i
+	}
+	c.Stages = []Stage{nandStage(ins, 1), invStage(k, drive)}
+	return c.finish()
+}
+
+func orCell(name string, k int, drive float64) *Cell {
+	c := newCell(name, "comb", k)
+	ins := make([]int, k)
+	for i := range ins {
+		ins[i] = i
+	}
+	c.Stages = []Stage{norStage(ins, 1), invStage(k, drive)}
+	return c.finish()
+}
+
+func xorCell(name string, drive float64, xnor bool) *Cell {
+	c := newCell(name, "comb", 2)
+	// signals: a=0 b=1 na=2 nb=3 out=4
+	st := xorStage(0, 2, 1, 3, drive)
+	if xnor {
+		st = xnorStage(0, 2, 1, 3, drive)
+	}
+	c.Stages = []Stage{invStage(0, 1), invStage(1, 1), st}
+	return c.finish()
+}
+
+func mux2Cell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 3)
+	// inputs d0=0 d1=1 s=2; signals: ns=3, muxb=4, out=5
+	c.Stages = []Stage{
+		invStage(2, 1),
+		mux2InvStage(0, 1, 2, 3, drive),
+		invStage(4, drive),
+	}
+	return c.finish()
+}
+
+func haCell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 2)
+	// a=0 b=1; na=2 nb=3 sum=4 cb=5 co=6
+	c.Stages = []Stage{
+		invStage(0, 1), invStage(1, 1),
+		xorStage(0, 2, 1, 3, drive),
+		nandStage([]int{0, 1}, 1),
+		invStage(5, drive),
+	}
+	return c.finish()
+}
+
+func faCell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 3)
+	// a=0 b=1 ci=2; cob=3 co=4 sb=5 s=6
+	c.Stages = []Stage{
+		majInvStage(0, 1, 2, drive),
+		invStage(3, drive),
+		sumInvStage(0, 1, 2, 3, drive),
+		invStage(5, drive),
+	}
+	return c.finish()
+}
+
+func aoiCell(name string, st Stage, numInputs int) *Cell {
+	c := newCell(name, "comb", numInputs)
+	c.Stages = []Stage{st}
+	return c.finish()
+}
+
+func nand2bCell(name string, drive float64) *Cell {
+	// out = !(!a · b): inverted-input NAND.
+	c := newCell(name, "comb", 2)
+	c.Stages = []Stage{invStage(0, 1), nandStage([]int{2, 1}, drive)}
+	return c.finish()
+}
+
+func nor2bCell(name string, drive float64) *Cell {
+	// out = !(!a + b): inverted-input NOR.
+	c := newCell(name, "comb", 2)
+	c.Stages = []Stage{invStage(0, 1), norStage([]int{2, 1}, drive)}
+	return c.finish()
+}
+
+func ao21Cell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 3)
+	c.Stages = []Stage{aoi21Stage(0, 1, 2, 1), invStage(3, drive)}
+	return c.finish()
+}
+
+func oa21Cell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 3)
+	c.Stages = []Stage{oai21Stage(0, 1, 2, 1), invStage(3, drive)}
+	return c.finish()
+}
+
+func maj3Cell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 3)
+	c.Stages = []Stage{majInvStage(0, 1, 2, 1), invStage(3, drive)}
+	return c.finish()
+}
+
+func xor3Cell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 3)
+	// a=0 b=1 c=2; na=3 nb=4 t=5(a⊕b) nt=6 nc=7 out=8(t⊕c)
+	c.Stages = []Stage{
+		invStage(0, 1), invStage(1, 1),
+		xorStage(0, 3, 1, 4, 1),
+		invStage(5, 1), invStage(2, 1),
+		xorStage(5, 6, 2, 7, drive),
+	}
+	return c.finish()
+}
+
+// tbufCell models a tristate buffer: inputs A(0), EN(1). The output driver
+// devices are extras biased against a bus node assumed held at the last
+// driven value — taken as A when enabled and at Vdd when tristated (a
+// conservative, fixed assumption for characterization).
+func tbufCell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 2)
+	// signals: a=0 en=1 enb=2 n1=3 n2=4
+	c.Stages = []Stage{
+		invStage(1, 1),
+		nandStage([]int{0, 1}, 1),
+		norStage([]int{0, 2}, 1),
+	}
+	out := func(v []float64) float64 {
+		if v[1] > vdd/2 { // enabled: bus follows A
+			return v[0]
+		}
+		return vdd // tristated: bus held high
+	}
+	c.Extras = []circuit.BiasedDevice{
+		{Dev: pmos(baseWP * drive), Gate: circuit.Sig(3), Source: circuit.Rail(vdd), Drain: out},
+		{Dev: nmos(baseWN * drive), Gate: circuit.Sig(4), Source: circuit.Rail(0), Drain: out},
+	}
+	return c.finish()
+}
+
+// tinvCell models a tristate inverter: inputs A(0), EN(1). The stacked
+// output stage is a true series stage; when tristated the output is taken
+// to sit at !A (the value the bus last held), so the stage logic remains
+// consistent in every state.
+func tinvCell(name string, drive float64) *Cell {
+	c := newCell(name, "comb", 2)
+	// signals: a=0 en=1 enb=2 out=3
+	c.Stages = []Stage{
+		invStage(1, 1),
+		{
+			PUN:   circuit.Series(pDev(2, drive, 2), pDev(0, drive, 2)),
+			PDN:   circuit.Series(nDev(0, drive, 2), nDev(1, drive, 2)),
+			Logic: func(sig []bool) bool { return !sig[0] },
+		},
+	}
+	return c.finish()
+}
+
+// dlatchCell models a transparent-high D latch built from an input
+// transmission gate, a storage inverter pair, a feedback transmission gate
+// and an output inverter. Inputs: D(0), EN(1), and the stored pseudo-state
+// S(2) that the storage node holds while the latch is opaque.
+func dlatchCell(name string, drive float64) *Cell {
+	c := newCell(name, "seq", 3)
+	// signals: D=0 EN=1 S=2 | enb=3(stage) | l_in=4 lq=5 lfb=6 q=7 (derived)
+	c.Stages = []Stage{
+		invStage(1, 1), // enb, real inverter
+		derived(func(sig []bool) bool { // l_in: storage node
+			if sig[1] {
+				return sig[0]
+			}
+			return sig[2]
+		}),
+		derived(func(sig []bool) bool { return !sig[4] }), // lq
+		derived(func(sig []bool) bool { return sig[4] }),  // lfb = !lq
+		derived(func(sig []bool) bool { return !sig[5] }), // q = !lq
+	}
+	var ex []circuit.BiasedDevice
+	ex = tgExtras(ex, 0, 4, 1, 3) // input TG: on when EN=1
+	ex = invExtras(ex, 4, 5)      // storage inverter
+	ex = invExtras(ex, 5, 6)      // feedback inverter
+	ex = tgExtras(ex, 6, 4, 3, 1) // feedback TG: on when EN=0
+	ex = invExtras(ex, 5, 7)      // output inverter
+	c.Extras = ex
+	_ = drive
+	return c.finish()
+}
+
+// dffCell models a positive-edge master-slave D flip-flop built from two
+// transmission-gate latches and a local clock buffer. Inputs: D(0), CLK(1),
+// and two pseudo-states: M(2), the master storage-node value that holds
+// while CLK=1, and S(3), the slave storage-node value that holds while
+// CLK=0. 22 transistors.
+func dffCell(name string, drive float64) *Cell {
+	c := newCell(name, "seq", 4)
+	// signals: D=0 CLK=1 M=2 S=3 | clkb=4 clki=5 (stages, real clock buffer)
+	// derived: m_in=6 mq=7 mfb=8 s_in=9 sq=10 sfb=11 q=12
+	c.Stages = []Stage{
+		invStage(1, 1), // clkb
+		invStage(4, 1), // clki
+		derived(func(sig []bool) bool { // m_in: master node
+			if sig[1] {
+				return sig[2]
+			}
+			return sig[0]
+		}),
+		derived(func(sig []bool) bool { return !sig[6] }), // mq
+		derived(func(sig []bool) bool { return sig[6] }),  // mfb
+		derived(func(sig []bool) bool { // s_in: slave node
+			if sig[1] {
+				return sig[7] // transparent: follows mq
+			}
+			return sig[3] // opaque: holds S
+		}),
+		derived(func(sig []bool) bool { return !sig[9] }),  // sq
+		derived(func(sig []bool) bool { return sig[9] }),   // sfb
+		derived(func(sig []bool) bool { return !sig[10] }), // q (output buffer)
+	}
+	var ex []circuit.BiasedDevice
+	ex = tgExtras(ex, 0, 6, 4, 5)  // master input TG: on when CLK=0
+	ex = invExtras(ex, 6, 7)       // master inverter
+	ex = invExtras(ex, 7, 8)       // master feedback inverter
+	ex = tgExtras(ex, 8, 6, 5, 4)  // master feedback TG: on when CLK=1
+	ex = tgExtras(ex, 7, 9, 5, 4)  // slave input TG: on when CLK=1
+	ex = invExtras(ex, 9, 10)      // slave inverter
+	ex = invExtras(ex, 10, 11)     // slave feedback inverter
+	ex = tgExtras(ex, 11, 9, 4, 5) // slave feedback TG: on when CLK=0
+	ex = invExtras(ex, 10, 12)     // output inverter
+	c.Extras = ex
+	_ = drive
+	return c.finish()
+}
+
+// dffrCell is the DFF with an active-low asynchronous reset: the master and
+// slave inverters become NAND2 gates with the reset. Inputs: D(0), CLK(1),
+// RB(2, reset-bar), M(3), S(4).
+func dffrCell(name string) *Cell {
+	c := newCell(name, "seq", 5)
+	// signals: D=0 CLK=1 RB=2 M=3 S=4 | clkb=5 clki=6 (stages)
+	// m_in=7 (derived) mqNAND=8 (stage) mfb=9 (derived)
+	// s_in=10 (derived) sqNAND=11 (stage) sfb=12 q=13 (derived)
+	c.Stages = []Stage{
+		invStage(1, 1), // 5: clkb
+		invStage(5, 1), // 6: clki
+		derived(func(sig []bool) bool { // 7: m_in
+			if !sig[2] {
+				return false // reset forces the master node low
+			}
+			if sig[1] {
+				return sig[3]
+			}
+			return sig[0]
+		}),
+		nandStage([]int{7, 2}, 1),                         // 8: mq = !(m_in·RB)
+		derived(func(sig []bool) bool { return !sig[8] }), // 9: mfb
+		derived(func(sig []bool) bool { // 10: s_in
+			if !sig[2] {
+				return false
+			}
+			if sig[1] {
+				return !sig[8] // transparent: follows !mq = m_in
+			}
+			return sig[4]
+		}),
+		nandStage([]int{10, 2}, 1),                         // 11: sq = !(s_in·RB)
+		derived(func(sig []bool) bool { return !sig[11] }), // 12: sfb
+		derived(func(sig []bool) bool { return !sig[11] }), // 13: q
+	}
+	var ex []circuit.BiasedDevice
+	ex = tgExtras(ex, 0, 7, 5, 6)   // master input TG (CLK=0)
+	ex = tgExtras(ex, 9, 7, 6, 5)   // master feedback TG (CLK=1)
+	ex = tgExtras(ex, 12, 10, 5, 6) // slave feedback TG (CLK=0)
+	ex = invExtras(ex, 11, 13)      // output inverter
+	c.Extras = ex
+	return c.finish()
+}
+
+// dffsCell is the DFF with an active-low asynchronous set (dual of DFFR).
+// Inputs: D(0), CLK(1), SB(2, set-bar), M(3), S(4).
+func dffsCell(name string) *Cell {
+	c := newCell(name, "seq", 5)
+	// Set is realized with NOR gates on the inverted set line.
+	// signals: D=0 CLK=1 SB=2 M=3 S=4 | clkb=5 clki=6 m_in=7 set=8(stage)
+	// mq=9(stage NOR) s_in=10 sq=11(stage NOR) q=12
+	c.Stages = []Stage{
+		invStage(1, 1), // 5: clkb
+		invStage(5, 1), // 6: clki
+		derived(func(sig []bool) bool { // 7: m_in
+			if !sig[2] {
+				return true
+			}
+			if sig[1] {
+				return sig[3]
+			}
+			return sig[0]
+		}),
+		invStage(2, 1),           // 8: set = !SB
+		norStage([]int{7, 8}, 1), // 9: mq = !(m_in + set)
+		derived(func(sig []bool) bool { // 10: s_in
+			if !sig[2] {
+				return true
+			}
+			if sig[1] {
+				return !sig[9]
+			}
+			return sig[4]
+		}),
+		norStage([]int{10, 8}, 1),                          // 11: sq
+		derived(func(sig []bool) bool { return !sig[11] }), // 12: q
+	}
+	var ex []circuit.BiasedDevice
+	ex = tgExtras(ex, 0, 7, 5, 6)
+	ex = tgExtras(ex, 9, 7, 6, 5) // feedback uses mq's complement path
+	ex = invExtras(ex, 11, 12)
+	c.Extras = ex
+	return c.finish()
+}
+
+// sdffCell is a scan D flip-flop: a scan multiplexer in front of the DFF
+// core. Inputs: D(0), SI(1), SE(2), CLK(3), M(4), S(5).
+func sdffCell(name string) *Cell {
+	c := newCell(name, "seq", 6)
+	// signals: | seb=6 muxb=7 mux=8 clkb=9 clki=10 (stages)
+	// m_in=11 mq=12 mfb=13 s_in=14 sq=15 sfb=16 q=17 (derived)
+	c.Stages = []Stage{
+		invStage(2, 1),              // 6: seb
+		mux2InvStage(0, 1, 2, 6, 1), // 7: muxb = !(SI·SE + D·!SE)
+		invStage(7, 1),              // 8: mux
+		invStage(3, 1),              // 9: clkb
+		invStage(9, 1),              // 10: clki
+		derived(func(sig []bool) bool { // 11: m_in
+			if sig[3] {
+				return sig[4]
+			}
+			return sig[8]
+		}),
+		derived(func(sig []bool) bool { return !sig[11] }), // 12: mq
+		derived(func(sig []bool) bool { return sig[11] }),  // 13: mfb
+		derived(func(sig []bool) bool { // 14: s_in
+			if sig[3] {
+				return sig[12]
+			}
+			return sig[5]
+		}),
+		derived(func(sig []bool) bool { return !sig[14] }), // 15: sq
+		derived(func(sig []bool) bool { return sig[14] }),  // 16: sfb
+		derived(func(sig []bool) bool { return !sig[15] }), // 17: q
+	}
+	var ex []circuit.BiasedDevice
+	ex = tgExtras(ex, 8, 11, 9, 10)  // master input TG (CLK=0)
+	ex = invExtras(ex, 11, 12)       // master inverter
+	ex = invExtras(ex, 12, 13)       // master feedback inverter
+	ex = tgExtras(ex, 13, 11, 10, 9) // master feedback TG (CLK=1)
+	ex = tgExtras(ex, 12, 14, 10, 9) // slave input TG (CLK=1)
+	ex = invExtras(ex, 14, 15)       // slave inverter
+	ex = invExtras(ex, 15, 16)       // slave feedback inverter
+	ex = tgExtras(ex, 16, 14, 9, 10) // slave feedback TG (CLK=0)
+	ex = invExtras(ex, 15, 17)       // output inverter
+	c.Extras = ex
+	return c.finish()
+}
+
+// sramCell is the 6-transistor SRAM bit cell in standby: wordline low,
+// both bitlines precharged high, storing Q=1/QB=0. Three devices leak: the
+// left pull-down (off with Vdd across it), the right pull-up, and the right
+// access transistor (bitline-high against the low internal node). The cell
+// has no inputs — a single characterization state.
+func sramCell(name string) *Cell {
+	c := newCell(name, "sram", 0)
+	const (
+		wnPD = 0.20 // pull-down width
+		wpPU = 0.12 // pull-up width
+		wnAX = 0.15 // access width
+	)
+	q, qb, bl, wl := circuit.Rail(vdd), circuit.Rail(0), circuit.Rail(vdd), circuit.Rail(0)
+	c.Extras = []circuit.BiasedDevice{
+		{Dev: pmos(wpPU), Gate: qb, Source: circuit.Rail(vdd), Drain: q}, // PU-L (on, Vds=0)
+		{Dev: nmos(wnPD), Gate: qb, Source: circuit.Rail(0), Drain: q},   // PD-L (leaks)
+		{Dev: pmos(wpPU), Gate: q, Source: circuit.Rail(vdd), Drain: qb}, // PU-R (leaks)
+		{Dev: nmos(wnPD), Gate: q, Source: circuit.Rail(0), Drain: qb},   // PD-R (on, Vds=0)
+		{Dev: nmos(wnAX), Gate: wl, Source: q, Drain: bl},                // AX-L (Vds=0)
+		{Dev: nmos(wnAX), Gate: wl, Source: qb, Drain: bl},               // AX-R (leaks)
+	}
+	return c.finish()
+}
+
+// Library returns the full 62-cell library. Cells are rebuilt on every
+// call; they are cheap to construct and callers (the characterization
+// engine) cache the expensive derived data instead.
+func Library() []*Cell {
+	lib := []*Cell{
+		invCell("INV_X1", 1), invCell("INV_X2", 2), invCell("INV_X4", 4),
+		invCell("INV_X8", 8), invCell("INV_X16", 16),
+		bufCell("BUF_X1", 1), bufCell("BUF_X2", 2), bufCell("BUF_X4", 4), bufCell("BUF_X8", 8),
+		nandCell("NAND2_X1", 2, 1), nandCell("NAND2_X2", 2, 2), nandCell("NAND2_X4", 2, 4),
+		nandCell("NAND3_X1", 3, 1), nandCell("NAND3_X2", 3, 2),
+		nandCell("NAND4_X1", 4, 1),
+		norCell("NOR2_X1", 2, 1), norCell("NOR2_X2", 2, 2), norCell("NOR2_X4", 2, 4),
+		norCell("NOR3_X1", 3, 1), norCell("NOR3_X2", 3, 2),
+		norCell("NOR4_X1", 4, 1),
+		andCell("AND2_X1", 2, 1), andCell("AND2_X2", 2, 2), andCell("AND3_X1", 3, 1),
+		andCell("AND4_X1", 4, 1),
+		orCell("OR2_X1", 2, 1), orCell("OR2_X2", 2, 2), orCell("OR3_X1", 3, 1),
+		orCell("OR4_X1", 4, 1),
+		aoiCell("AOI21_X1", aoi21Stage(0, 1, 2, 1), 3),
+		aoiCell("AOI21_X2", aoi21Stage(0, 1, 2, 2), 3),
+		aoiCell("AOI22_X1", aoi22Stage(0, 1, 2, 3, 1), 4),
+		aoiCell("AOI211_X1", aoi211Stage(0, 1, 2, 3, 1), 4),
+		aoiCell("AOI221_X1", aoi221Stage(0, 1, 2, 3, 4, 1), 5),
+		aoiCell("OAI21_X1", oai21Stage(0, 1, 2, 1), 3),
+		aoiCell("OAI21_X2", oai21Stage(0, 1, 2, 2), 3),
+		aoiCell("OAI22_X1", oai22Stage(0, 1, 2, 3, 1), 4),
+		aoiCell("OAI211_X1", oai211Stage(0, 1, 2, 3, 1), 4),
+		aoiCell("OAI221_X1", oai221Stage(0, 1, 2, 3, 4, 1), 5),
+		xorCell("XOR2_X1", 1, false), xorCell("XOR2_X2", 2, false),
+		xorCell("XNOR2_X1", 1, true),
+		xor3Cell("XOR3_X1", 1),
+		mux2Cell("MUX2_X1", 1), mux2Cell("MUX2_X2", 2),
+		nand2bCell("NAND2B_X1", 1),
+		nor2bCell("NOR2B_X1", 1),
+		ao21Cell("AO21_X1", 1),
+		oa21Cell("OA21_X1", 1),
+		maj3Cell("MAJ3_X1", 1),
+		haCell("HA_X1", 1),
+		faCell("FA_X1", 1),
+		tbufCell("TBUF_X1", 2),
+		tinvCell("TINV_X1", 1),
+		dlatchCell("DLATCH_X1", 1), dlatchCell("DLATCH_X2", 2),
+		dffCell("DFF_X1", 1), dffCell("DFF_X2", 2),
+		dffrCell("DFFR_X1"),
+		dffsCell("DFFS_X1"),
+		sdffCell("SDFF_X1"),
+		sramCell("SRAM6T"),
+	}
+	sort.Slice(lib, func(i, j int) bool { return lib[i].Name < lib[j].Name })
+	return lib
+}
+
+// CoreSubset returns a small, topology-diverse subset used by fast tests:
+// an inverter, NAND/NOR stacks, a complex gate, an XOR, a flip-flop and the
+// SRAM cell.
+func CoreSubset() []*Cell {
+	return []*Cell{
+		invCell("INV_X1", 1),
+		nandCell("NAND2_X1", 2, 1),
+		nandCell("NAND3_X1", 3, 1),
+		norCell("NOR2_X1", 2, 1),
+		aoiCell("AOI21_X1", aoi21Stage(0, 1, 2, 1), 3),
+		xorCell("XOR2_X1", 1, false),
+		dffCell("DFF_X1", 1),
+		sramCell("SRAM6T"),
+	}
+}
+
+// ISCASSubset returns the cell types used by the synthetic ISCAS85
+// benchmark suite — the working set of the Table 1 experiment.
+func ISCASSubset() []*Cell {
+	return []*Cell{
+		invCell("INV_X1", 1),
+		bufCell("BUF_X1", 1),
+		nandCell("NAND2_X1", 2, 1),
+		nandCell("NAND3_X1", 3, 1),
+		norCell("NOR2_X1", 2, 1),
+		andCell("AND2_X1", 2, 1),
+		orCell("OR2_X1", 2, 1),
+		xorCell("XOR2_X1", 1, false),
+	}
+}
+
+// ByName indexes a cell list by name.
+func ByName(lib []*Cell) map[string]*Cell {
+	m := make(map[string]*Cell, len(lib))
+	for _, c := range lib {
+		if _, dup := m[c.Name]; dup {
+			panic(fmt.Sprintf("cells: duplicate cell name %s", c.Name))
+		}
+		m[c.Name] = c
+	}
+	return m
+}

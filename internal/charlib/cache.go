@@ -1,0 +1,66 @@
+package charlib
+
+import (
+	"sync"
+
+	"leakest/internal/cells"
+	"leakest/internal/spatial"
+)
+
+// The shared characterizations below memoize the expensive cell
+// characterization for the default process. Characterization depends only
+// on the channel-length mean and total sigma — not on the spatial
+// correlation function — so a shared library can be combined with any
+// correlation model whose sigma split matches (the estimators validate
+// this).
+
+var (
+	sharedFullOnce sync.Once
+	sharedFull     *Library
+	sharedFullErr  error
+
+	sharedCoreOnce sync.Once
+	sharedCore     *Library
+	sharedCoreErr  error
+
+	sharedISCASOnce sync.Once
+	sharedISCAS     *Library
+	sharedISCASErr  error
+)
+
+// SharedFull returns the full 62-cell library characterized under the
+// default 90 nm process, computed once per process.
+func SharedFull() (*Library, error) {
+	sharedFullOnce.Do(func() {
+		sharedFull, sharedFullErr = Characterize(cells.Library(), Config{
+			Process: spatial.Default90nm(),
+			Seed:    20070604, // DAC 2007 opening day
+		})
+	})
+	return sharedFull, sharedFullErr
+}
+
+// SharedCore returns the characterized topology-diverse core subset, for
+// fast tests and examples.
+func SharedCore() (*Library, error) {
+	sharedCoreOnce.Do(func() {
+		sharedCore, sharedCoreErr = Characterize(cells.CoreSubset(), Config{
+			Process:   spatial.Default90nm(),
+			MCSamples: 5000,
+			Seed:      20070604,
+		})
+	})
+	return sharedCore, sharedCoreErr
+}
+
+// SharedISCAS returns the characterized cell subset used by the synthetic
+// ISCAS85 benchmarks (Table 1 experiment).
+func SharedISCAS() (*Library, error) {
+	sharedISCASOnce.Do(func() {
+		sharedISCAS, sharedISCASErr = Characterize(cells.ISCASSubset(), Config{
+			Process: spatial.Default90nm(),
+			Seed:    20070604,
+		})
+	})
+	return sharedISCAS, sharedISCASErr
+}

@@ -1,0 +1,63 @@
+package charlib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"leakest/internal/spatial"
+)
+
+// libraryJSON is the wire form of Library; the spline curves are rebuilt
+// from the stored grid samples on load.
+type libraryJSON struct {
+	Process *spatial.Process `json:"process"`
+	Cells   []CellChar       `json:"cells"`
+}
+
+// Save writes the characterized library as indented JSON.
+func (l *Library) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(libraryJSON{Process: l.Process, Cells: l.Cells})
+}
+
+// SaveFile writes the characterized library to path.
+func (l *Library) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := l.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a characterized library previously written by Save.
+func Load(r io.Reader) (*Library, error) {
+	var w libraryJSON
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("charlib: decode: %w", err)
+	}
+	if w.Process == nil {
+		return nil, fmt.Errorf("charlib: library JSON missing process")
+	}
+	lib := &Library{Process: w.Process, Cells: w.Cells}
+	if err := lib.rebuild(); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}
+
+// LoadFile reads a characterized library from path.
+func LoadFile(path string) (*Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,97 @@
+package charlib
+
+import (
+	"fmt"
+	"math"
+
+	"leakest/internal/stats"
+)
+
+// DesignStatsAtP returns the per-gate effective leakage mean and standard
+// deviation of a design with cell-usage histogram hist when every signal has
+// probability p of being 1 (§2.1.4). Multiplying the mean by the gate count
+// gives the full-chip mean of Fig. 3. When mc is true the Monte-Carlo cell
+// moments are used, otherwise the analytical-fit moments.
+func DesignStatsAtP(lib *Library, hist *stats.Histogram, p float64, mc bool) (mean, std float64, err error) {
+	if p < 0 || p > 1 {
+		return 0, 0, fmt.Errorf("charlib: signal probability %g outside [0, 1]", p)
+	}
+	m, m2 := 0.0, 0.0
+	for _, name := range hist.Labels() {
+		alpha := hist.Prob(name)
+		if alpha == 0 {
+			continue
+		}
+		cc, err := lib.Cell(name)
+		if err != nil {
+			return 0, 0, err
+		}
+		mu, sd := cc.EffectiveStats(p, mc)
+		m += alpha * mu
+		m2 += alpha * (sd*sd + mu*mu)
+	}
+	v := m2 - m*m
+	if v < 0 {
+		v = 0
+	}
+	return m, math.Sqrt(v), nil
+}
+
+// MaximizingSignalProb finds the signal probability p* ∈ [0, 1] that
+// maximizes the design mean leakage for the given histogram — the paper's
+// conservative setting (§2.1.4). A coarse grid scan brackets the maximum
+// and golden-section search refines it.
+func MaximizingSignalProb(lib *Library, hist *stats.Histogram, mc bool) (float64, error) {
+	eval := func(p float64) (float64, error) {
+		m, _, err := DesignStatsAtP(lib, hist, p, mc)
+		return m, err
+	}
+	const gridN = 21
+	bestP, bestV := 0.0, 0.0
+	for i := 0; i < gridN; i++ {
+		p := float64(i) / (gridN - 1)
+		v, err := eval(p)
+		if err != nil {
+			return 0, err
+		}
+		if v > bestV {
+			bestP, bestV = p, v
+		}
+	}
+	// Golden-section refinement around the bracketing neighbours.
+	lo := bestP - 1.0/(gridN-1)
+	hi := bestP + 1.0/(gridN-1)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	const phi = 0.6180339887498949
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, err := eval(x1)
+	if err != nil {
+		return 0, err
+	}
+	f2, err := eval(x2)
+	if err != nil {
+		return 0, err
+	}
+	for iter := 0; iter < 40 && hi-lo > 1e-6; iter++ {
+		if f1 < f2 {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			if f2, err = eval(x2); err != nil {
+				return 0, err
+			}
+		} else {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			if f1, err = eval(x1); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}

@@ -1,0 +1,200 @@
+package chipmc
+
+import (
+	"math"
+	"testing"
+
+	"leakest/internal/charlib"
+	"leakest/internal/core"
+	"leakest/internal/netlist"
+	"leakest/internal/placement"
+	"leakest/internal/spatial"
+	"leakest/internal/stats"
+)
+
+func testSetup(t *testing.T, n int) (*charlib.Library, *spatial.Process, *netlist.Netlist, *placement.Placement) {
+	t.Helper()
+	lib, err := charlib.SharedCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := spatial.Default90nm()
+	proc := &spatial.Process{
+		LNominal: base.LNominal,
+		SigmaD2D: base.SigmaD2D,
+		SigmaWID: base.SigmaWID,
+		SigmaVt:  base.SigmaVt,
+		WIDCorr:  spatial.TruncatedExpCorr{Lambda: 20, R: 80},
+	}
+	hist, _ := stats.NewHistogram(map[string]float64{
+		"INV_X1": 2, "NAND2_X1": 2, "NOR2_X1": 1,
+	})
+	byName := map[string]int{}
+	for _, cc := range lib.Cells {
+		byName[cc.Name] = cc.NumInputs
+	}
+	rng := stats.NewRNG(13, "chipmc-test")
+	nl, err := netlist.RandomCircuit(rng, "mc-test", n, 8, hist,
+		func(typ string) (int, error) { return byName[typ], nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := placement.AutoGrid(n)
+	pl, err := placement.Random(rng, grid, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, proc, nl, pl
+}
+
+// The decisive cross-validation: the chip-level MC distribution must match
+// the O(n²) analytic true statistics within sampling error.
+func TestMCMatchesAnalyticTruth(t *testing.T) {
+	lib, proc, nl, pl := testSetup(t, 225)
+	spec, err := core.ExtractSpec(nl, pl, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.NewModel(lib, proc, spec, MCMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := core.TrueStats(model, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 3000, Seed: 5}, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("analytic: µ=%.4g σ=%.4g | MC: µ=%.4g σ=%.4g", truth.Mean, truth.Std, mc.Mean, mc.Std)
+	// Mean: MC standard error ≈ σ/√N.
+	se := truth.Std / math.Sqrt(float64(mc.Samples))
+	if math.Abs(mc.Mean-truth.Mean) > 5*se {
+		t.Errorf("MC mean %.5g vs analytic %.5g (> 5 SE = %.3g)", mc.Mean, truth.Mean, 5*se)
+	}
+	// Std: allow ~8% (sampling noise on σ of a skewed sum plus the
+	// simplified ρ_leak=ρ_L mapping in the analytic pairwise covariances).
+	if e := math.Abs(stats.RelErr(mc.Std, truth.Std)); e > 8 {
+		t.Errorf("MC σ %.5g vs analytic %.5g (%.2f%%)", mc.Std, truth.Std, e)
+	}
+	if !(mc.Q05 < mc.Mean && mc.Mean < mc.Q95) {
+		t.Errorf("quantiles disordered: %g %g %g", mc.Q05, mc.Mean, mc.Q95)
+	}
+}
+
+// MCMode returns the core mode matching this package's curve-based
+// sampling (MC moments + simplified correlation).
+func MCMode() core.Mode { return core.MCSimplified }
+
+func TestVtIncreasesMeanNotStd(t *testing.T) {
+	lib, proc, nl, pl := testSetup(t, 144)
+	base, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 2500, Seed: 9}, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 2500, Seed: 9, IncludeVt: true}, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mean should rise by roughly the lognormal factor.
+	factor := lib.VtMeanFactor()
+	gotFactor := vt.Mean / base.Mean
+	t.Logf("Vt mean factor: measured %.3f, analytic %.3f", gotFactor, factor)
+	if math.Abs(gotFactor-factor)/factor > 0.1 {
+		t.Errorf("Vt mean factor %.3f, want ≈ %.3f", gotFactor, factor)
+	}
+	// The paper's claim: relative spread barely changes because the
+	// independent Vt contributions average out over the chip.
+	baseCV := base.Std / base.Mean
+	vtCV := vt.Std / vt.Mean
+	if math.Abs(vtCV-baseCV)/baseCV > 0.25 {
+		t.Errorf("Vt changed the leakage CV too much: %.4f vs %.4f", vtCV, baseCV)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	lib, proc, nl, pl := testSetup(t, 16)
+	cases := []Config{
+		{},
+		{Lib: lib},
+		{Lib: lib, Proc: proc, SignalProb: 2},
+		{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 2},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg, nl, pl); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	empty := &netlist.Netlist{Name: "e"}
+	if _, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5}, empty, pl); err == nil {
+		t.Errorf("empty netlist accepted")
+	}
+	// Placement mismatch.
+	grid, _ := placement.AutoGrid(4)
+	small, _ := placement.RowMajor(grid, 4)
+	if _, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5}, nl, small); err == nil {
+		t.Errorf("mismatched placement accepted")
+	}
+	// Inconsistent process.
+	wrong := *proc
+	wrong.SigmaWID *= 3
+	if _, err := Run(Config{Lib: lib, Proc: &wrong, SignalProb: 0.5}, nl, pl); err == nil {
+		t.Errorf("inconsistent process accepted")
+	}
+}
+
+func TestGateCountGuard(t *testing.T) {
+	lib, proc, _, _ := testSetup(t, 16)
+	big := &netlist.Netlist{Name: "big", NumPI: 1}
+	for i := 0; i < MaxGates+1; i++ {
+		big.Gates = append(big.Gates, netlist.Gate{Type: "INV_X1"})
+	}
+	grid, _ := placement.AutoGrid(MaxGates + 1)
+	pl, _ := placement.RowMajor(grid, MaxGates+1)
+	if _, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5}, big, pl); err == nil {
+		t.Errorf("oversized netlist accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	lib, proc, nl, pl := testSetup(t, 36)
+	a, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 200, Seed: 3}, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 200, Seed: 3}, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.Std != b.Std {
+		t.Errorf("same seed produced different results")
+	}
+	c, _ := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 200, Seed: 4}, nl, pl)
+	if a.Mean == c.Mean {
+		t.Errorf("different seeds produced identical results")
+	}
+}
+
+// The lognormal two-moment approximation of the full-chip distribution
+// (core.Distribution) should track the sampled quantiles.
+func TestLognormalApproximationTracksQuantiles(t *testing.T) {
+	lib, proc, nl, pl := testSetup(t, 225)
+	mc, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 4000, Seed: 12}, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDistribution(mc.Mean, mc.Std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p05 := d.Quantile(0.05)
+	p95 := d.Quantile(0.95)
+	t.Logf("MC [q05,q95] = [%.4g, %.4g], lognormal = [%.4g, %.4g]", mc.Q05, mc.Q95, p05, p95)
+	if math.Abs(p05-mc.Q05)/mc.Q05 > 0.06 {
+		t.Errorf("q05: lognormal %.4g vs MC %.4g", p05, mc.Q05)
+	}
+	if math.Abs(p95-mc.Q95)/mc.Q95 > 0.06 {
+		t.Errorf("q95: lognormal %.4g vs MC %.4g", p95, mc.Q95)
+	}
+}

@@ -1,0 +1,299 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"leakest/internal/device"
+)
+
+func nmos(w float64) device.MOSFET { return device.NewMOSFET(device.NMOS, w, 0.09) }
+func pmos(w float64) device.MOSFET { return device.NewMOSFET(device.PMOS, w, 0.09) }
+
+const vdd = 1.0
+
+func envL(v []float64) *Env { return &Env{V: v, L: 0.09} }
+
+func TestSingleDeviceMatchesMOSFET(t *testing.T) {
+	m := nmos(0.3)
+	n := Dev(m, 0)
+	env := envL([]float64{0}) // gate low: off
+	got := n.Current(vdd, 0, env)
+	want := m.Ids(0, 0, vdd, 0.09, 0)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("leaf current %g != device %g", got, want)
+	}
+	// PMOS leaf: gate high ⇒ off, top terminal is source at Vdd.
+	p := pmos(0.6)
+	np := Dev(p, 0)
+	env = envL([]float64{vdd})
+	got = np.Current(vdd, 0, env)
+	want = p.OffLeakage(0.09, 0)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("pmos leaf %g != off leakage %g", got, want)
+	}
+}
+
+func TestCurrentZeroSpan(t *testing.T) {
+	n := Dev(nmos(0.3), 0)
+	if i := n.Current(0.5, 0.5, envL([]float64{0})); i != 0 {
+		t.Errorf("zero-span current = %g", i)
+	}
+}
+
+func TestCurrentPanicsOnReversedTerminals(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for vt < vb")
+		}
+	}()
+	Dev(nmos(0.3), 0).Current(0, 1, envL([]float64{0}))
+}
+
+func TestParallelAddsCurrents(t *testing.T) {
+	a := Dev(nmos(0.3), 0)
+	b := Dev(nmos(0.5), 1)
+	p := Parallel(a, b)
+	env := envL([]float64{0, 0})
+	got := p.Current(vdd, 0, env)
+	want := a.Current(vdd, 0, env) + b.Current(vdd, 0, env)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("parallel %g != sum %g", got, want)
+	}
+}
+
+func TestStackEffect(t *testing.T) {
+	// Two OFF NMOS in series must leak much less than one OFF NMOS —
+	// the classic stack effect, roughly an order of magnitude.
+	single := Dev(nmos(0.3), 0)
+	stack2 := Series(Dev(nmos(0.3), 0), Dev(nmos(0.3), 1))
+	stack3 := Series(Dev(nmos(0.3), 0), Dev(nmos(0.3), 1), Dev(nmos(0.3), 2))
+	env := envL([]float64{0, 0, 0})
+	i1 := single.Current(vdd, 0, env)
+	i2 := stack2.Current(vdd, 0, env)
+	i3 := stack3.Current(vdd, 0, env)
+	if !(i1 > i2 && i2 > i3) {
+		t.Fatalf("stack ordering violated: %g, %g, %g", i1, i2, i3)
+	}
+	if r := i1 / i2; r < 3 || r > 100 {
+		t.Errorf("2-stack factor = %g, want order-of-magnitude suppression", r)
+	}
+	if i3 <= 0 {
+		t.Errorf("3-stack current must remain positive, got %g", i3)
+	}
+}
+
+func TestSeriesWithOnDeviceNearlyTransparent(t *testing.T) {
+	// NAND2 pulldown with A=1 (on), B=0 (off): leakage ≈ single off device
+	// with nearly full Vds (the ON device drops almost nothing); must be
+	// well above the all-off stack and within ~2x of the single device.
+	a := Dev(nmos(0.3), 0)
+	b := Dev(nmos(0.3), 1)
+	st := Series(a, b)
+	iMixed := st.Current(vdd, 0, envL([]float64{vdd, 0}))
+	iAllOff := st.Current(vdd, 0, envL([]float64{0, 0}))
+	iSingle := Dev(nmos(0.3), 0).Current(vdd, 0, envL([]float64{0}))
+	if !(iMixed > iAllOff) {
+		t.Fatalf("mixed state %g should exceed all-off %g", iMixed, iAllOff)
+	}
+	if iMixed > iSingle*1.001 || iMixed < iSingle*0.3 {
+		t.Errorf("mixed %g vs single %g: ON device should be nearly transparent", iMixed, iSingle)
+	}
+}
+
+func TestSeriesCurrentContinuity(t *testing.T) {
+	// Current must equal through a series chain: check by computing the
+	// chain current and verifying the intermediate node found implies the
+	// same current through each element (KCL at the internal node).
+	top := Dev(nmos(0.3), 0)
+	bot := Dev(nmos(0.4), 1)
+	st := Series(top, bot)
+	env := envL([]float64{0, 0})
+	i := st.Current(vdd, 0, env)
+	// Recover the internal node: bisect where bottom device carries i.
+	vm := bot.solveTopVoltage(0, vdd, i, env)
+	iTop := top.Current(vdd, vm, env)
+	iBot := bot.Current(vm, 0, env)
+	if math.Abs(iTop-iBot)/i > 1e-6 {
+		t.Errorf("KCL violated: top %g vs bottom %g (chain %g)", iTop, iBot, i)
+	}
+	if math.Abs(iTop-i)/i > 1e-6 {
+		t.Errorf("chain current %g inconsistent with element current %g", i, iTop)
+	}
+}
+
+func TestSeriesOrderInvariance(t *testing.T) {
+	// For two IDENTICAL off devices, reversing the order must not change
+	// the current (the problem is symmetric). Devices of different widths
+	// are genuinely order-dependent (the top device sees a raised source),
+	// so only the identical case is exact.
+	a := Series(Dev(nmos(0.3), 0), Dev(nmos(0.3), 1))
+	b := Series(Dev(nmos(0.3), 1), Dev(nmos(0.3), 0))
+	env := envL([]float64{0, 0})
+	ia := a.Current(vdd, 0, env)
+	ib := b.Current(vdd, 0, env)
+	if math.Abs(ia-ib)/ia > 1e-6 {
+		t.Errorf("order dependence: %g vs %g", ia, ib)
+	}
+	// Different widths: currents must still be within a factor of ~2 of
+	// each other (the asymmetry is mild).
+	c := Series(Dev(nmos(0.3), 0), Dev(nmos(0.6), 1))
+	d := Series(Dev(nmos(0.6), 1), Dev(nmos(0.3), 0))
+	ic := c.Current(vdd, 0, env)
+	id := d.Current(vdd, 0, env)
+	if r := ic / id; r < 0.5 || r > 2 {
+		t.Errorf("asymmetric stack ratio = %g implausible", r)
+	}
+}
+
+func TestNestedSeriesParallel(t *testing.T) {
+	// AOI21 pulldown: Series(Parallel(a,b)... actually (a·b + c)' ⇒
+	// PDN = Parallel(Series(a,b), c). All off: leakage ≈ single off (c) +
+	// 2-stack (a,b); dominated by c.
+	pdn := Parallel(Series(Dev(nmos(0.3), 0), Dev(nmos(0.3), 1)), Dev(nmos(0.3), 2))
+	env := envL([]float64{0, 0, 0})
+	got := pdn.Current(vdd, 0, env)
+	single := Dev(nmos(0.3), 2).Current(vdd, 0, env)
+	stack := Series(Dev(nmos(0.3), 0), Dev(nmos(0.3), 1)).Current(vdd, 0, env)
+	want := single + stack
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("AOI21 pdn %g != %g", got, want)
+	}
+	// OAI22-like: Series(Parallel, Parallel) — a genuinely nested solve.
+	oai := Series(
+		Parallel(Dev(nmos(0.3), 0), Dev(nmos(0.3), 1)),
+		Parallel(Dev(nmos(0.3), 2), Dev(nmos(0.3), 3)),
+	)
+	env4 := envL([]float64{0, 0, 0, 0})
+	iOai := oai.Current(vdd, 0, env4)
+	// Two parallel pairs in series ≈ stack of double-width devices: between
+	// the 2-stack of single-width and the single device.
+	i2 := Series(Dev(nmos(0.6), 0), Dev(nmos(0.6), 1)).Current(vdd, 0, envL([]float64{0, 0}))
+	if math.Abs(iOai-i2)/i2 > 1e-3 {
+		t.Errorf("OAI22 pdn %g, expected ≈ double-width stack %g", iOai, i2)
+	}
+}
+
+func TestSeriesMonotoneInSpan(t *testing.T) {
+	st := Series(Dev(nmos(0.3), 0), Dev(nmos(0.3), 1))
+	env := envL([]float64{0, 0})
+	prev := -1.0
+	for v := 0.1; v <= 1.0; v += 0.1 {
+		i := st.Current(v, 0, env)
+		if i <= prev {
+			t.Fatalf("series current not increasing at vt=%g", v)
+		}
+		prev = i
+	}
+}
+
+func TestVtOffsetsThroughNetwork(t *testing.T) {
+	st := Series(Dev(nmos(0.3), 0), Dev(nmos(0.3), 1))
+	n := st.AssignVtIndices(0)
+	if n != 2 {
+		t.Fatalf("AssignVtIndices returned %d, want 2", n)
+	}
+	env0 := &Env{V: []float64{0, 0}, L: 0.09}
+	envHot := &Env{V: []float64{0, 0}, L: 0.09, DVt: []float64{-0.05, -0.05}}
+	i0 := st.Current(vdd, 0, env0)
+	iHot := st.Current(vdd, 0, envHot)
+	if iHot <= i0 {
+		t.Errorf("lower Vt must leak more: %g vs %g", iHot, i0)
+	}
+}
+
+func TestNumDevicesAndDevices(t *testing.T) {
+	netw := Parallel(Series(Dev(nmos(0.3), 0), Dev(nmos(0.3), 1)), Dev(pmos(0.5), 2))
+	if got := netw.NumDevices(); got != 3 {
+		t.Errorf("NumDevices = %d, want 3", got)
+	}
+	devs := netw.Devices(nil)
+	if len(devs) != 3 || devs[2].Kind != device.PMOS {
+		t.Errorf("Devices wrong: %v", devs)
+	}
+}
+
+func TestSingleChildUnwrapped(t *testing.T) {
+	d := Dev(nmos(0.3), 0)
+	if Series(d) != d || Parallel(d) != d {
+		t.Errorf("single-child composition should unwrap")
+	}
+}
+
+func TestEmptyCompositionPanics(t *testing.T) {
+	for _, f := range []func(){func() { Series() }, func() { Parallel() }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic on empty composition")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBiasedDevice(t *testing.T) {
+	m := nmos(0.3)
+	bd := BiasedDevice{
+		Dev:    m,
+		VtIdx:  -1,
+		Gate:   Rail(0),
+		Source: Rail(0),
+		Drain:  Sig(0),
+	}
+	env := envL([]float64{vdd})
+	got := bd.Leakage(env)
+	want := m.OffLeakage(0.09, 0)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("biased device leakage %g != %g", got, want)
+	}
+}
+
+func TestPullUpNetworkOfPMOS(t *testing.T) {
+	// NOR2 pull-up: two PMOS in series between Vdd and the output. With
+	// inputs (0,1) output is 0; the PUN leaks with the B device off.
+	pun := Series(Dev(pmos(0.6), 0), Dev(pmos(0.6), 1))
+	envBoth := envL([]float64{vdd, vdd}) // both off: stack effect
+	envOne := envL([]float64{0, vdd})    // A on, B off
+	iBoth := pun.Current(vdd, 0, envBoth)
+	iOne := pun.Current(vdd, 0, envOne)
+	if !(iOne > iBoth && iBoth > 0) {
+		t.Errorf("PMOS stack states wrong: both=%g one=%g", iBoth, iOne)
+	}
+}
+
+func TestGateLeakageNetwork(t *testing.T) {
+	// Default cards: zero gate leakage everywhere.
+	n := Parallel(Series(Dev(nmos(0.3), 0), Dev(nmos(0.3), 1)), Dev(pmos(0.6), 0))
+	env := envL([]float64{vdd, 0})
+	if g := n.GateLeakage(vdd, env); g != 0 {
+		t.Fatalf("default gate leakage = %g", g)
+	}
+	// Enable via MapDevices and re-check: only gate-driven-on devices
+	// contribute materially.
+	count := 0
+	n.MapDevices(func(m *device.MOSFET) {
+		m.Tech.JGate = 1e-7
+		count++
+	})
+	if count != 3 {
+		t.Fatalf("MapDevices visited %d devices", count)
+	}
+	g := n.GateLeakage(vdd, env)
+	if g <= 0 {
+		t.Fatalf("enabled gate leakage = %g", g)
+	}
+	// Signal 0 is high: the two NMOS on pin 0... pin0-driven NMOS is on
+	// (full tunneling), pin1 NMOS off (negligible), PMOS gate high ⇒ off.
+	want := 1e-7 * 0.3 * 0.09
+	if math.Abs(g-want)/want > 0.01 {
+		t.Errorf("gate leakage %g, want ≈ %g (one on NMOS)", g, want)
+	}
+	// Biased device path.
+	bd := BiasedDevice{Dev: nmos(0.3), Gate: Rail(vdd), Source: Rail(0), Drain: Rail(vdd)}
+	bd.Dev.Tech.JGate = 1e-7
+	if got := bd.GateLeakage(envL(nil)); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("biased gate leakage %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"leakest/internal/charlib"
+	"leakest/internal/netlist"
+	"leakest/internal/placement"
+	"leakest/internal/spatial"
+	"leakest/internal/stats"
+)
+
+// testProcess returns a process whose correlation length suits the small
+// dies of the test circuits (tens to hundreds of µm).
+func testProcess() *spatial.Process {
+	base := spatial.Default90nm()
+	return &spatial.Process{
+		LNominal: base.LNominal,
+		SigmaD2D: base.SigmaD2D,
+		SigmaWID: base.SigmaWID,
+		SigmaVt:  base.SigmaVt,
+		WIDCorr:  spatial.TruncatedExpCorr{Lambda: 30, R: 120},
+	}
+}
+
+func testLib(t *testing.T) *charlib.Library {
+	t.Helper()
+	lib, err := charlib.SharedCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func testHist(t *testing.T) *stats.Histogram {
+	t.Helper()
+	h, err := stats.NewHistogram(map[string]float64{
+		"INV_X1": 3, "NAND2_X1": 3, "NOR2_X1": 2, "AOI21_X1": 1, "XOR2_X1": 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func squareSpec(t *testing.T, n int) DesignSpec {
+	t.Helper()
+	side := int(math.Sqrt(float64(n)))
+	if side*side != n {
+		t.Fatalf("squareSpec needs a perfect square, got %d", n)
+	}
+	w := float64(side) * placement.DefaultSitePitch
+	return DesignSpec{Hist: testHist(t), N: n, W: w, H: w, SignalProb: 0.5}
+}
+
+func newTestModel(t *testing.T, n int, mode Mode) *Model {
+	t.Helper()
+	m, err := NewModel(testLib(t), testProcess(), squareSpec(t, n), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelValidation(t *testing.T) {
+	lib := testLib(t)
+	proc := testProcess()
+	good := squareSpec(t, 64)
+	if _, err := NewModel(nil, proc, good, Analytic); err == nil {
+		t.Errorf("nil library accepted")
+	}
+	bad := good
+	bad.N = 0
+	if _, err := NewModel(lib, proc, bad, Analytic); err == nil {
+		t.Errorf("zero gate count accepted")
+	}
+	bad = good
+	bad.W = -1
+	if _, err := NewModel(lib, proc, bad, Analytic); err == nil {
+		t.Errorf("negative width accepted")
+	}
+	bad = good
+	bad.SignalProb = 2
+	if _, err := NewModel(lib, proc, bad, Analytic); err == nil {
+		t.Errorf("signal probability 2 accepted")
+	}
+	bad = good
+	bad.Hist, _ = stats.NewHistogram(map[string]float64{"UNKNOWN": 1})
+	if _, err := NewModel(lib, proc, bad, Analytic); err == nil {
+		t.Errorf("unknown cell accepted")
+	}
+	// Mismatched process sigma must be rejected.
+	wrong := *proc
+	wrong.SigmaWID *= 2
+	if _, err := NewModel(lib, &wrong, good, Analytic); err == nil {
+		t.Errorf("inconsistent process accepted")
+	}
+	// nil process falls back to the library's.
+	m, err := NewModel(lib, nil, good, Analytic)
+	if err != nil {
+		t.Fatalf("nil process: %v", err)
+	}
+	if m.Proc != lib.Process {
+		t.Errorf("nil process did not default to the library process")
+	}
+}
+
+func TestRGMomentsMatchDirectComputation(t *testing.T) {
+	// Eqs. 7–8: µ_XI = Σ α_i µ_i, E[X²] = Σ α_i(σ_i²+µ_i²), over the
+	// state-weighted variants.
+	m := newTestModel(t, 64, Analytic)
+	mu, m2 := 0.0, 0.0
+	for _, name := range m.Spec.Hist.Labels() {
+		cc, err := m.Lib.Cell(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := m.Spec.Hist.Prob(name)
+		cm, cs := cc.EffectiveStats(0.5, false)
+		mu += a * cm
+		m2 += a * (cs*cs + cm*cm)
+	}
+	if math.Abs(m.MeanPerGate()-mu) > 1e-15 {
+		t.Errorf("µ_XI = %g, direct %g", m.MeanPerGate(), mu)
+	}
+	if math.Abs(m.RGVariance()-(m2-mu*mu)) > 1e-18 {
+		t.Errorf("σ²_XI = %g, direct %g", m.RGVariance(), m2-mu*mu)
+	}
+}
+
+func TestCovarianceStructure(t *testing.T) {
+	for _, mode := range []Mode{Analytic, MCSimplified} {
+		m := newTestModel(t, 64, mode)
+		// Eq. 11: the diagonal is the RG variance, strictly above F(1)
+		// because gate choice adds variance at a single site.
+		if got := m.CovAtDist(0); got != m.RGVariance() {
+			t.Errorf("%v: C(0) = %g, want σ²_XI = %g", mode, got, m.RGVariance())
+		}
+		f1 := m.CovAtCorr(1)
+		if f1 >= m.RGVariance() {
+			t.Errorf("%v: F(1) = %g should be below σ²_XI = %g", mode, f1, m.RGVariance())
+		}
+		if f0 := m.CovAtCorr(0); f0 != 0 {
+			t.Errorf("%v: F(0) = %g, want 0", mode, f0)
+		}
+		// Monotone non-increasing in distance.
+		prev := math.Inf(1)
+		for d := 1.0; d < 300; d += 10 {
+			c := m.CovAtDist(d)
+			if c > prev+1e-18 {
+				t.Errorf("%v: covariance increased at d=%g", mode, d)
+			}
+			if c < 0 {
+				t.Errorf("%v: negative covariance at d=%g", mode, d)
+			}
+			prev = c
+		}
+		// Beyond the WID range only the D2D floor remains.
+		floor := m.CovAtCorr(m.Proc.CorrFloor())
+		if got := m.CovAtDist(1e6); math.Abs(got-floor) > 1e-9*floor {
+			t.Errorf("%v: C(∞) = %g, want floor %g", mode, got, floor)
+		}
+		if m.CorrAtDist(1e6) <= 0 {
+			t.Errorf("%v: correlation floor missing", mode)
+		}
+	}
+}
+
+// The central identity: the Eq. 17 distance-histogram regrouping is an
+// EXACT transformation of the Eq. 15 double sum over a full k×m grid.
+func TestLinearEqualsBruteForceOnFullGrid(t *testing.T) {
+	m := newTestModel(t, 36, Analytic) // 6×6 grid, 36 = N so no occupancy scaling
+	res, err := m.EstimateLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Note != "" {
+		t.Fatalf("expected exact grid, got note %q", res.Note)
+	}
+	k, cols := res.GridRows, res.GridCols
+	if k*cols != 36 {
+		t.Fatalf("grid %d×%d does not cover 36", k, cols)
+	}
+	dw := m.Spec.W / float64(cols)
+	dh := m.Spec.H / float64(k)
+	// Brute force Eq. 15 over all site pairs.
+	variance := 0.0
+	for a := 0; a < 36; a++ {
+		ra, ca := a/cols, a%cols
+		for b := 0; b < 36; b++ {
+			rb, cb := b/cols, b%cols
+			d := math.Hypot(float64(ca-cb)*dw, float64(ra-rb)*dh)
+			variance += m.CovAtDist(d)
+		}
+	}
+	want := math.Sqrt(variance)
+	if math.Abs(res.Std-want)/want > 1e-12 {
+		t.Errorf("linear σ = %.15g, brute force %.15g", res.Std, want)
+	}
+	if res.Mean != 36*m.MeanPerGate() {
+		t.Errorf("mean = %g, want %g", res.Mean, 36*m.MeanPerGate())
+	}
+}
+
+func TestLinearOccupancyScaling(t *testing.T) {
+	// A prime gate count cannot factorize into a near-square grid; the
+	// estimator must note the occupancy scaling and still produce sane
+	// numbers close to the neighbouring square size.
+	lib := testLib(t)
+	proc := testProcess()
+	spec := squareSpec(t, 144)
+	spec.N = 149 // prime
+	m, err := NewModel(lib, proc, spec, Analytic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.EstimateLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Note, "occupancy") {
+		t.Errorf("expected occupancy note, got %q", res.Note)
+	}
+	ref, _ := newTestModel(t, 144, Analytic).EstimateLinear()
+	// 149 gates should leak slightly more than 144 in both moments.
+	if !(res.Mean > ref.Mean && res.Std > ref.Std) {
+		t.Errorf("149-gate estimates (%g, %g) not above 144-gate (%g, %g)",
+			res.Mean, res.Std, ref.Mean, ref.Std)
+	}
+	if res.Std > ref.Std*1.1 {
+		t.Errorf("149-gate σ %g implausibly far above 144-gate %g", res.Std, ref.Std)
+	}
+}
+
+// Fig. 7's foundation: the 2-D integral converges to the linear-time value
+// as n grows.
+func TestIntegralConvergesToLinear(t *testing.T) {
+	for _, mode := range []Mode{Analytic, MCSimplified} {
+		var prevErr float64 = math.Inf(1)
+		for _, n := range []int{64, 1024, 4096} {
+			m := newTestModel(t, n, mode)
+			lin, err := m.EstimateLinear()
+			if err != nil {
+				t.Fatal(err)
+			}
+			integ, err := m.EstimateIntegral2D()
+			if err != nil {
+				t.Fatal(err)
+			}
+			relErr := math.Abs(stats.RelErr(integ.Std, lin.Std))
+			t.Logf("%v n=%d: linear σ=%.4g, integral σ=%.4g, err=%.3f%%", mode, n, lin.Std, integ.Std, relErr)
+			if relErr > prevErr*1.5 {
+				t.Errorf("%v: integral error grew with n: %g%% after %g%%", mode, relErr, prevErr)
+			}
+			prevErr = relErr
+		}
+		if prevErr > 0.5 {
+			t.Errorf("%v: integral error at n=4096 is %.3f%%, want < 0.5%%", mode, prevErr)
+		}
+	}
+}
+
+func TestPolarMatchesIntegral2D(t *testing.T) {
+	// With a finite-range correlation well inside the die, the polar
+	// single integral must agree with the 2-D integral.
+	m := newTestModel(t, 4096, Analytic) // die 128×128 µm, R = 120 µm
+	p2, err := m.EstimateIntegral2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := m.EstimatePolar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(stats.RelErr(p1.Std, p2.Std)); e > 0.5 {
+		t.Errorf("polar σ=%.6g vs 2-D σ=%.6g (%.3f%% apart)", p1.Std, p2.Std, e)
+	}
+	if p1.Mean != p2.Mean {
+		t.Errorf("means differ: %g vs %g", p1.Mean, p2.Mean)
+	}
+}
+
+func TestPolarRejectsWideCorrelation(t *testing.T) {
+	// Die smaller than the correlation range: polar must refuse.
+	m := newTestModel(t, 64, Analytic) // die 16×16 µm < R = 120 µm
+	if _, err := m.EstimatePolar(); err == nil {
+		t.Errorf("polar accepted correlation range beyond the die")
+	}
+}
+
+func TestNaiveUnderestimates(t *testing.T) {
+	m := newTestModel(t, 4096, Analytic)
+	naive, err := m.EstimateNaive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, _ := m.EstimateLinear()
+	if naive.Mean != lin.Mean {
+		t.Errorf("naive mean %g != linear mean %g", naive.Mean, lin.Mean)
+	}
+	// With strong within-die correlation the independence assumption must
+	// underestimate σ badly (the paper's core motivation).
+	if naive.Std > lin.Std/2 {
+		t.Errorf("naive σ = %g not far below correlated σ = %g", naive.Std, lin.Std)
+	}
+}
+
+func TestTrueStatsExactOnDeterministicDesign(t *testing.T) {
+	// A design of a single 0-input cell (SRAM) has a deterministic RG: the
+	// O(n²) true statistics must match the linear-time model estimate
+	// exactly on a full grid.
+	lib := testLib(t)
+	proc := testProcess()
+	hist, _ := stats.NewHistogram(map[string]float64{"SRAM6T": 1})
+	n := 49
+	side := 7
+	w := float64(side) * placement.DefaultSitePitch
+	spec := DesignSpec{Hist: hist, N: n, W: w, H: w, SignalProb: 0.5}
+	m, err := NewModel(lib, proc, spec, Analytic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := &netlist.Netlist{Name: "sram-array", NumPI: 1}
+	for i := 0; i < n; i++ {
+		nl.Gates = append(nl.Gates, netlist.Gate{Type: "SRAM6T"})
+	}
+	grid, _ := placement.NewGrid(n, placement.DefaultSitePitch, placement.DefaultSitePitch, 1)
+	pl, _ := placement.RowMajor(grid, n)
+
+	truth, err := TrueStats(m, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := m.EstimateLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.RelErr(lin.Mean, truth.Mean)) > 1e-9 {
+		t.Errorf("mean: linear %g vs true %g", lin.Mean, truth.Mean)
+	}
+	if math.Abs(stats.RelErr(lin.Std, truth.Std)) > 0.01 {
+		t.Errorf("std: linear %g vs true %g", lin.Std, truth.Std)
+	}
+}
+
+func TestTrueStatsRandomCircuitCloseToModel(t *testing.T) {
+	// A random circuit drawn from the histogram: true stats approach the
+	// RG estimate (Fig. 6's convergence) — at n=400 within a few percent.
+	lib := testLib(t)
+	proc := testProcess()
+	byName := map[string]int{}
+	for _, cc := range lib.Cells {
+		byName[cc.Name] = cc.NumInputs
+	}
+	arity := func(typ string) (int, error) { return byName[typ], nil }
+	hist := testHist(t)
+	rng := stats.NewRNG(21, "true-vs-model")
+	n := 400
+	nl, err := netlist.RandomCircuit(rng, "rc400", n, 16, hist, arity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := placement.AutoGrid(n)
+	pl, err := placement.Random(rng, grid, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DesignSpec{Hist: hist, N: n, W: grid.W(), H: grid.H(), SignalProb: 0.5}
+	m, err := NewModel(lib, proc, spec, Analytic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := TrueStats(m, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := m.EstimateLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(stats.RelErr(lin.Mean, truth.Mean)); e > 5 {
+		t.Errorf("mean error %.2f%% too large", e)
+	}
+	if e := math.Abs(stats.RelErr(lin.Std, truth.Std)); e > 8 {
+		t.Errorf("std error %.2f%% too large", e)
+	}
+}
+
+func TestTrueStatsErrors(t *testing.T) {
+	m := newTestModel(t, 64, Analytic)
+	empty := &netlist.Netlist{Name: "e", NumPI: 1}
+	grid, _ := placement.AutoGrid(4)
+	pl, _ := placement.RowMajor(grid, 4)
+	if _, err := TrueStats(m, empty, pl); err == nil {
+		t.Errorf("empty netlist accepted")
+	}
+	one := &netlist.Netlist{Name: "o", NumPI: 1, Gates: []netlist.Gate{{Type: "INV_X1"}}}
+	if _, err := TrueStats(m, one, pl); err == nil {
+		t.Errorf("placement size mismatch accepted")
+	}
+	unknown := &netlist.Netlist{Name: "u", NumPI: 1, Gates: []netlist.Gate{
+		{Type: "NOPE"}, {Type: "NOPE"}, {Type: "NOPE"}, {Type: "NOPE"}}}
+	if _, err := TrueStats(m, unknown, pl); err == nil {
+		t.Errorf("unknown type accepted")
+	}
+}
+
+func TestExtractSpec(t *testing.T) {
+	nl := &netlist.Netlist{Name: "x", NumPI: 2, Gates: []netlist.Gate{
+		{Type: "INV_X1", Fanins: []int{0}},
+		{Type: "NAND2_X1", Fanins: []int{0, 1}},
+		{Type: "INV_X1", Fanins: []int{2}},
+		{Type: "NOR2_X1", Fanins: []int{2, 3}},
+	}}
+	grid, _ := placement.AutoGrid(4)
+	pl, _ := placement.RowMajor(grid, 4)
+	spec, err := ExtractSpec(nl, pl, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N != 4 || spec.W != grid.W() || spec.H != grid.H() {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.Hist.Prob("INV_X1") != 0.5 {
+		t.Errorf("extracted P(INV) = %g", spec.Hist.Prob("INV_X1"))
+	}
+	empty := &netlist.Netlist{Name: "e", NumPI: 1}
+	if _, err := ExtractSpec(empty, pl, 0.5); err == nil {
+		t.Errorf("empty netlist accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Analytic.String() != "analytic" || MCSimplified.String() != "mc-simplified" {
+		t.Errorf("mode strings: %s, %s", Analytic, MCSimplified)
+	}
+}
+
+// §3.1.2: the simplified ρ_leak = ρ_L assumption changes the estimated σ
+// by only a small amount relative to the exact mapping.
+func TestSimplifiedAssumptionError(t *testing.T) {
+	for _, wid := range []bool{true, false} {
+		proc := testProcess()
+		if wid {
+			proc = proc.AllWID()
+		}
+		lib := testLib(t)
+		spec := squareSpec(t, 1024)
+		exact, err := NewModel(lib, proc, spec, Analytic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simp, err := NewModel(lib, proc, spec, MCSimplified)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := exact.EstimateLinear()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := simp.EstimateLinear()
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := math.Abs(stats.RelErr(s.Std, e.Std))
+		t.Logf("WID-only=%v: exact σ=%.4g, simplified σ=%.4g, err=%.2f%%", wid, e.Std, s.Std, relErr)
+		// Paper reports < 2.8%; allow slack for the MC-vs-fit moment
+		// differences that also separate the two modes here.
+		if relErr > 6 {
+			t.Errorf("WID-only=%v: simplified-assumption error %.2f%% too large", wid, relErr)
+		}
+	}
+}

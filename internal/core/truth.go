@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"leakest/internal/netlist"
+	"leakest/internal/placement"
+	"leakest/internal/quad"
+)
+
+// TrueStats computes the "true leakage" of a specific placed design: the
+// O(n²) pairwise-covariance sum over all cell instances (Eq. 15), the
+// late-mode baseline the paper validates against. The per-gate statistics
+// are state-weighted at the model's signal probability, and pairwise
+// covariances follow the model's mode (exact f_{m,n} mapping or the
+// simplified ρ_leak = ρ_L assumption).
+func TrueStats(m *Model, nl *netlist.Netlist, pl *placement.Placement) (Result, error) {
+	n := len(nl.Gates)
+	if n == 0 {
+		return Result{}, fmt.Errorf("core: empty netlist")
+	}
+	if len(pl.Site) != n {
+		return Result{}, fmt.Errorf("core: placement covers %d gates, netlist has %d", len(pl.Site), n)
+	}
+
+	// Index the gate types and pre-build the pairwise covariance splines.
+	types := nl.SortedTypes()
+	tIdx := make(map[string]int, len(types))
+	for i, t := range types {
+		tIdx[t] = i
+	}
+	pairSpl := make([][]*quad.Spline, len(types))
+	for i := range pairSpl {
+		pairSpl[i] = make([]*quad.Spline, len(types))
+	}
+	for i, a := range types {
+		for j := i; j < len(types); j++ {
+			b := types[j]
+			// Warm the model cache, then grab the spline directly.
+			if _, err := m.PairCovAtCorr(a, b, 0.5); err != nil {
+				return Result{}, err
+			}
+			key := [2]string{a, b}
+			if b < a {
+				key = [2]string{b, a}
+			}
+			sp := m.pairCache[key]
+			pairSpl[i][j] = sp
+			pairSpl[j][i] = sp
+		}
+	}
+
+	// Per-gate effective stats and positions.
+	mean := 0.0
+	variance := 0.0
+	gt := make([]int, n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for g, gate := range nl.Gates {
+		mu, sigma, err := m.CellStats(gate.Type)
+		if err != nil {
+			return Result{}, err
+		}
+		mean += mu
+		variance += sigma * sigma
+		gt[g] = tIdx[gate.Type]
+		xs[g], ys[g] = pl.Pos(g)
+	}
+
+	// Pairwise covariances (Eq. 15's off-diagonal part).
+	for a := 0; a < n; a++ {
+		xa, ya, ta := xs[a], ys[a], gt[a]
+		row := pairSpl[ta]
+		for b := a + 1; b < n; b++ {
+			d := math.Hypot(xa-xs[b], ya-ys[b])
+			rho := m.Proc.TotalCorr(d)
+			if rho <= 0 {
+				continue
+			}
+			if rho > 1 {
+				rho = 1
+			}
+			cov := row[gt[b]].Eval(rho)
+			if cov > 0 {
+				variance += 2 * cov
+			}
+		}
+	}
+	return Result{
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Method: "true-n2",
+	}, nil
+}
+
+// ExtractSpec derives the high-level design characteristics (Fig. 1) from a
+// placed netlist — the late-mode extraction step: cell-usage histogram,
+// gate count, and layout dimensions.
+func ExtractSpec(nl *netlist.Netlist, pl *placement.Placement, signalProb float64) (DesignSpec, error) {
+	hist, err := nl.Histogram()
+	if err != nil {
+		return DesignSpec{}, err
+	}
+	spec := DesignSpec{
+		Hist:       hist,
+		N:          len(nl.Gates),
+		W:          pl.Grid.W(),
+		H:          pl.Grid.H(),
+		SignalProb: signalProb,
+	}
+	return spec, spec.Validate()
+}

@@ -1,0 +1,31 @@
+package device
+
+import "math"
+
+// Gate tunneling leakage — an optional extension beyond the paper, which
+// models subthreshold leakage only. Thin-oxide gate tunneling flows when
+// the channel is inverted (gate driven towards the on state) and scales
+// with gate area W·L; note the *opposite* channel-length dependence to
+// subthreshold leakage (longer channel ⇒ more tunneling area), which makes
+// the gate component dilute the L-induced full-chip variability. The
+// gate-leakage ablation experiment quantifies this.
+
+// gateSlope is the exponential gate-drive sensitivity of the tunneling
+// current in volts; tunneling collapses quickly as the gate drive is
+// removed.
+const gateSlope = 0.12
+
+// GateLeak returns the gate tunneling current in amperes for gate and
+// source voltages vg, vs and channel length l (µm). It is zero unless the
+// technology card enables it via JGate (A/µm² at full gate drive).
+func (m MOSFET) GateLeak(vg, vs, l float64) float64 {
+	t := m.Tech
+	if t.JGate == 0 {
+		return 0
+	}
+	drive := vg - vs
+	if m.Kind == PMOS {
+		drive = vs - vg
+	}
+	return t.JGate * m.W * l * math.Exp((drive-t.Vdd)/gateSlope)
+}

@@ -1,0 +1,59 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGateLeakDisabledByDefault(t *testing.T) {
+	m := NewMOSFET(NMOS, 0.3, 0.09)
+	if g := m.GateLeak(1, 0, 0.09); g != 0 {
+		t.Errorf("default tech should have no gate leakage, got %g", g)
+	}
+}
+
+func TestGateLeakMagnitudeAndBias(t *testing.T) {
+	m := NewMOSFET(NMOS, 0.3, 0.09)
+	m.Tech.JGate = 3e-7
+	// Full drive: J·W·L exactly.
+	on := m.GateLeak(m.Tech.Vdd, 0, 0.09)
+	want := 3e-7 * 0.3 * 0.09
+	if math.Abs(on-want)/want > 1e-12 {
+		t.Errorf("full-drive gate leak %g, want %g", on, want)
+	}
+	// No drive: collapsed by orders of magnitude.
+	off := m.GateLeak(0, 0, 0.09)
+	if off > on*1e-3 {
+		t.Errorf("zero-drive gate leak %g not collapsed (on %g)", off, on)
+	}
+	// PMOS mirrors: driven when gate below source.
+	p := NewMOSFET(PMOS, 0.6, 0.09)
+	p.Tech.JGate = 3e-7
+	pOn := p.GateLeak(0, p.Tech.Vdd, 0.09)
+	pOff := p.GateLeak(p.Tech.Vdd, p.Tech.Vdd, 0.09)
+	if !(pOn > pOff*1e3) {
+		t.Errorf("PMOS gate leak bias direction wrong: on %g off %g", pOn, pOff)
+	}
+}
+
+func TestGateLeakGrowsWithL(t *testing.T) {
+	// Opposite dependence to subthreshold: more channel area, more
+	// tunneling.
+	m := NewMOSFET(NMOS, 0.3, 0.09)
+	m.Tech.JGate = 3e-7
+	if !(m.GateLeak(1, 0, 0.10) > m.GateLeak(1, 0, 0.08)) {
+		t.Errorf("gate leak must increase with L")
+	}
+}
+
+func TestJGateValidation(t *testing.T) {
+	tech := Default90nmTech(NMOS)
+	tech.JGate = -1
+	if err := tech.Validate(); err == nil {
+		t.Errorf("negative JGate accepted")
+	}
+	tech.JGate = 1e-7
+	if err := tech.Validate(); err != nil {
+		t.Errorf("valid JGate rejected: %v", err)
+	}
+}

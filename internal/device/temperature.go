@@ -1,0 +1,44 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Temperature scaling — an extension beyond the paper, which characterizes
+// at a single operating point. Subthreshold leakage is strongly
+// temperature-dependent through three mechanisms:
+//
+//   - the thermal voltage vT = kT/q grows linearly with T, flattening the
+//     exponential (more subthreshold current);
+//   - the threshold voltage falls roughly linearly with T (≈ −1 mV/K);
+//   - the mobility (and hence the specific current prefactor) falls as
+//     ~T^−1.5, partially offset by the vT² factor inside I_spec.
+//
+// Together these produce the classic ~order-of-magnitude leakage increase
+// per 100 K, which the temperature-sweep experiment and the thermal-runaway
+// example exercise.
+
+// refTempK is the characterization reference temperature.
+const refTempK = 300.0
+
+// tempCoefVt is the threshold-voltage temperature coefficient in V/K.
+const tempCoefVt = 0.001
+
+// AtTemperature returns the technology card scaled from the 300 K
+// reference to the given junction temperature in kelvin.
+func (t Tech) AtTemperature(tempK float64) (Tech, error) {
+	if tempK < 200 || tempK > 450 {
+		return Tech{}, fmt.Errorf("device: temperature %g K outside the model's 200–450 K validity", tempK)
+	}
+	out := t
+	ratio := tempK / refTempK
+	out.VT = t.VT * ratio
+	out.Vt0 = t.Vt0 - tempCoefVt*(tempK-refTempK)
+	// I_spec ∝ µ(T)·vT²(T) with µ ∝ T^−1.5 ⇒ I_spec ∝ T^0.5.
+	out.ISpec = t.ISpec * math.Sqrt(ratio)
+	if err := out.Validate(); err != nil {
+		return Tech{}, fmt.Errorf("device: card invalid at %g K: %w", tempK, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAtTemperatureScaling(t *testing.T) {
+	base := Default90nmTech(NMOS)
+	hot, err := base.AtTemperature(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hot.VT-base.VT*400.0/300.0) > 1e-15 {
+		t.Errorf("vT at 400K = %g", hot.VT)
+	}
+	if math.Abs(hot.Vt0-(base.Vt0-0.1)) > 1e-12 {
+		t.Errorf("Vt0 at 400K = %g, want %g", hot.Vt0, base.Vt0-0.1)
+	}
+	if hot.ISpec <= base.ISpec {
+		t.Errorf("ISpec should grow with T")
+	}
+	// Identity at the reference temperature.
+	same, err := base.AtTemperature(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Errorf("300 K card changed: %+v", same)
+	}
+}
+
+func TestAtTemperatureLeakageGrowth(t *testing.T) {
+	// Classic behaviour: roughly an order of magnitude per 100 K.
+	m := NewMOSFET(NMOS, 0.3, 0.09)
+	cold := m.OffLeakage(0.09, 0)
+	hotTech, err := m.Tech.AtTemperature(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotDev := m
+	hotDev.Tech = hotTech
+	hot := hotDev.OffLeakage(0.09, 0)
+	ratio := hot / cold
+	t.Logf("300→400 K off-leakage ratio: %.1fx", ratio)
+	if ratio < 4 || ratio > 100 {
+		t.Errorf("100 K leakage growth %.1fx outside the plausible 4–100x", ratio)
+	}
+	// Monotone in T.
+	prev := cold
+	for _, temp := range []float64{325, 350, 375, 400} {
+		card, err := m.Tech.AtTemperature(temp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := m
+		d.Tech = card
+		x := d.OffLeakage(0.09, 0)
+		if x <= prev {
+			t.Fatalf("leakage not increasing at %g K", temp)
+		}
+		prev = x
+	}
+}
+
+func TestAtTemperatureBounds(t *testing.T) {
+	base := Default90nmTech(NMOS)
+	for _, temp := range []float64{100, 500} {
+		if _, err := base.AtTemperature(temp); err == nil {
+			t.Errorf("temperature %g K accepted", temp)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"leakest/internal/cells"
+	"leakest/internal/charlib"
+	"leakest/internal/core"
+	"leakest/internal/placement"
+	"leakest/internal/spatial"
+	"leakest/internal/stats"
+)
+
+// GateLeakConfig parameterizes the gate-tunneling ablation.
+type GateLeakConfig struct {
+	Proc *spatial.Process
+	Hist *stats.Histogram
+	// JGate is the tunneling density to enable, A/µm² (default 3e-7 —
+	// comparable in magnitude to the subthreshold component, as in thin-
+	// oxide 90 nm nodes).
+	JGate float64
+	// Side² gates are estimated.
+	Side       int
+	SignalProb float64
+	Seed       int64
+}
+
+// GateLeakAblation is an extension beyond the paper: it re-characterizes
+// the ISCAS cell subset with gate tunneling enabled and compares full-chip
+// statistics against the subthreshold-only baseline. Gate tunneling grows
+// with gate area (∝ W·L), opposing the exponential decrease of
+// subthreshold leakage with L, so enabling it raises the mean while
+// *diluting* the relative spread — the statistical framework of the paper
+// absorbs the additional mechanism without modification.
+func GateLeakAblation(cfg GateLeakConfig) (*Table, error) {
+	if cfg.Hist == nil {
+		return nil, fmt.Errorf("experiments: GateLeakAblation needs a histogram")
+	}
+	if cfg.Proc == nil {
+		cfg.Proc = ChipProcess()
+	}
+	if cfg.JGate == 0 {
+		cfg.JGate = 3e-7
+	}
+	if cfg.Side == 0 {
+		cfg.Side = 32
+	}
+	if cfg.SignalProb == 0 {
+		cfg.SignalProb = 0.5
+	}
+
+	charCfg := charlib.Config{Process: spatial.Default90nm(), Seed: cfg.Seed + 20070604}
+	base, err := charlib.Characterize(cells.ISCASSubset(), charCfg)
+	if err != nil {
+		return nil, err
+	}
+	gated, err := charlib.Characterize(
+		cells.EnableGateLeakage(cells.ISCASSubset(), cfg.JGate), charCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	n := cfg.Side * cfg.Side
+	w := float64(cfg.Side) * placement.DefaultSitePitch
+	spec := core.DesignSpec{Hist: cfg.Hist, N: n, W: w, H: w, SignalProb: cfg.SignalProb}
+
+	t := &Table{
+		ID:     "EX1",
+		Title:  "gate-tunneling ablation (extension): mean rises, relative spread dilutes",
+		Header: []string{"library", "mean (A)", "std (A)", "CV"},
+	}
+	var cv [2]float64
+	for i, lib := range []*charlib.Library{base, gated} {
+		model, err := core.NewModel(lib, cfg.Proc, spec, core.Analytic)
+		if err != nil {
+			return nil, err
+		}
+		res, err := model.EstimateLinear()
+		if err != nil {
+			return nil, err
+		}
+		name := "subthreshold only"
+		if i == 1 {
+			name = fmt.Sprintf("+gate (J=%.1g A/µm²)", cfg.JGate)
+		}
+		cv[i] = res.Std / res.Mean
+		t.AddRow(name, f(res.Mean), f(res.Std), fmt.Sprintf("%.4f", cv[i]))
+	}
+	if cv[1] < cv[0] {
+		t.AddNote("relative spread diluted by %.1f%% — gate tunneling is insensitive to the L variation driving subthreshold spread",
+			100*(cv[0]-cv[1])/cv[0])
+	} else {
+		t.AddNote("relative spread changed from %.4f to %.4f", cv[0], cv[1])
+	}
+	t.AddNote("n = %d gates, %s process", n, cfg.Proc.WIDCorr.Name())
+	return t, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"leakest/internal/cells"
+	"leakest/internal/charlib"
+	"leakest/internal/core"
+	"leakest/internal/netlist"
+	"leakest/internal/placement"
+	"leakest/internal/spatial"
+	"leakest/internal/stats"
+)
+
+// SigPropConfig parameterizes the propagated-probability experiment.
+type SigPropConfig struct {
+	Lib  *charlib.Library
+	Proc *spatial.Process
+	Hist *stats.Histogram
+	// Side² gates are analysed.
+	Side int
+	// InputProbs lists the primary-input probabilities to sweep.
+	InputProbs []float64
+	Seed       int64
+}
+
+// OutputProbFromCells builds the netlist propagation hook from the
+// transistor-level cell library.
+func OutputProbFromCells(cellList []*cells.Cell) netlist.OutputProbFunc {
+	byName := cells.ByName(cellList)
+	return func(typ string, pinProbs []float64) (float64, error) {
+		c, ok := byName[typ]
+		if !ok {
+			return 0, fmt.Errorf("experiments: unknown cell %q", typ)
+		}
+		return c.OutputProbability(pinProbs)
+	}
+}
+
+// SignalPropagation is an extension beyond the paper: instead of one
+// uniform signal probability (the high-level abstraction of §2.1.4),
+// per-net probabilities are propagated through the netlist and each gate's
+// state distribution follows from its actual fanins. The experiment
+// quantifies how far the uniform abstraction sits from the propagated
+// refinement and how closely the paper's conservative maximizing-p*
+// setting tracks the propagated maximum (it maximizes the *uniform* mean,
+// so it can sit marginally below the propagated one — the note reports
+// which way it fell).
+func SignalPropagation(cfg SigPropConfig) (*Table, error) {
+	if cfg.Lib == nil || cfg.Hist == nil {
+		return nil, fmt.Errorf("experiments: SignalPropagation needs a library and histogram")
+	}
+	if cfg.Proc == nil {
+		cfg.Proc = ChipProcess()
+	}
+	if cfg.Side == 0 {
+		cfg.Side = 24
+	}
+	if len(cfg.InputProbs) == 0 {
+		cfg.InputProbs = []float64{0.25, 0.5, 0.75}
+	}
+	n := cfg.Side * cfg.Side
+	arity := arityOf(cfg.Lib)
+	rng := stats.NewRNG(cfg.Seed, "sigprop")
+	nl, err := netlist.RandomCircuit(rng, "sp", n, 16, cfg.Hist, arity)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := placement.NewGrid(n, placement.DefaultSitePitch, placement.DefaultSitePitch, 1)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := placement.Random(rng, grid, n)
+	if err != nil {
+		return nil, err
+	}
+	outProb := OutputProbFromCells(cells.Library())
+
+	t := &Table{
+		ID:     "EX4",
+		Title:  fmt.Sprintf("propagated per-net signal probabilities vs the uniform abstraction (n=%d)", n),
+		Header: []string{"input p", "uniform mean (A)", "propagated mean (A)", "Δmean", "uniform std (A)", "propagated std (A)", "Δstd"},
+	}
+	pStar, err := charlib.MaximizingSignalProb(cfg.Lib, cfg.Hist, false)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := core.ExtractSpec(nl, pl, pStar)
+	if err != nil {
+		return nil, err
+	}
+	conservative, err := core.NewModel(cfg.Lib, cfg.Proc, spec, core.AnalyticSimplified)
+	if err != nil {
+		return nil, err
+	}
+	consRes, err := conservative.EstimateLinear()
+	if err != nil {
+		return nil, err
+	}
+
+	maxPropMean := 0.0
+	for _, p := range cfg.InputProbs {
+		// Uniform abstraction at the input probability.
+		spec, err := core.ExtractSpec(nl, pl, p)
+		if err != nil {
+			return nil, err
+		}
+		model, err := core.NewModel(cfg.Lib, cfg.Proc, spec, core.AnalyticSimplified)
+		if err != nil {
+			return nil, err
+		}
+		uniform, err := core.TrueStats(model, nl, pl)
+		if err != nil {
+			return nil, err
+		}
+		// Propagated refinement.
+		_, gatePins, err := netlist.PropagateProbabilities(nl, p, arity, outProb)
+		if err != nil {
+			return nil, err
+		}
+		prop, err := core.PropagatedTrueStats(model, nl, pl, gatePins)
+		if err != nil {
+			return nil, err
+		}
+		if prop.Mean > maxPropMean {
+			maxPropMean = prop.Mean
+		}
+		t.AddRow(f(p),
+			f(uniform.Mean), f(prop.Mean), pct(stats.RelErr(prop.Mean, uniform.Mean)),
+			f(uniform.Std), f(prop.Std), pct(stats.RelErr(prop.Std, uniform.Std)))
+	}
+	t.AddNote("conservative RG estimate at p* = %.3f: mean %s A — %s the largest propagated mean",
+		pStar, f(consRes.Mean), coversWord(consRes.Mean >= maxPropMean))
+	t.AddNote("propagation is exact per gate under fanin independence (reconvergence ignored, as usual)")
+	return t, nil
+}
+
+func coversWord(ok bool) string {
+	if ok {
+		return "covers"
+	}
+	return "does NOT cover"
+}

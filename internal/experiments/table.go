@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (plus the ablations DESIGN.md calls out) as plain-text tables:
+//
+//	E1  §2.1.2  cell-model accuracy (analytical fit vs Monte Carlo)
+//	E2  Fig. 2  leakage correlation vs channel-length correlation
+//	E3  Fig. 3  full-chip mean leakage vs signal probability
+//	E4  Fig. 6  random-circuit convergence to the RG estimate
+//	E5  Table 1 ISCAS85 late-mode estimation errors
+//	E6  §3.1.2  simplified-correlation assumption error
+//	E7  Fig. 7  integral vs linear-time agreement across circuit size
+//	E9  §2.1    Vt-randomness ablation (mean shifts, spread does not)
+//	E10 §1      naive no-correlation baseline comparison
+//	E11 §3      estimator runtime scaling
+//
+// Each driver accepts explicit workload parameters so the benchmark harness
+// can run the paper-scale configuration while unit tests run reduced ones.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid of cells plus notes
+// comparing against the numbers the paper reports.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-form note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// pct formats a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }

@@ -1,0 +1,138 @@
+package iscas
+
+import (
+	"testing"
+
+	"leakest/internal/cells"
+	"leakest/internal/stats"
+)
+
+func arity(t *testing.T) func(string) (int, error) {
+	t.Helper()
+	byName := cells.ByName(cells.Library())
+	return func(typ string) (int, error) {
+		return byName[typ].NumInputs, nil
+	}
+}
+
+func TestSpecsMatchPublishedCounts(t *testing.T) {
+	want := map[string]int{
+		"c432": 160, "c499": 202, "c880": 383, "c1355": 546, "c1908": 880,
+		"c2670": 1193, "c3540": 1669, "c5315": 2307, "c6288": 2416, "c7552": 3512,
+	}
+	specs := Specs()
+	if len(specs) != len(want) {
+		t.Fatalf("%d specs, want %d", len(specs), len(want))
+	}
+	for _, s := range specs {
+		if want[s.Name] != s.Gates {
+			t.Errorf("%s: %d gates, want %d", s.Name, s.Gates, want[s.Name])
+		}
+		if s.PIs <= 0 || len(s.Mix) == 0 {
+			t.Errorf("%s: incomplete spec", s.Name)
+		}
+	}
+}
+
+func TestTable1NamesAreNine(t *testing.T) {
+	names := Table1Names()
+	if len(names) != 9 {
+		t.Fatalf("Table 1 has %d circuits, want 9", len(names))
+	}
+	specs := map[string]bool{}
+	for _, s := range Specs() {
+		specs[s.Name] = true
+	}
+	for _, n := range names {
+		if !specs[n] {
+			t.Errorf("Table 1 circuit %s has no spec", n)
+		}
+	}
+	// c3540 is deliberately not in the paper's table.
+	for _, n := range names {
+		if n == "c3540" {
+			t.Errorf("c3540 should not be in Table 1")
+		}
+	}
+}
+
+func TestBuildDeterministicAndValid(t *testing.T) {
+	a, err := Build("c432", 7, arity(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Netlist.Validate(); err != nil {
+		t.Fatalf("c432 invalid: %v", err)
+	}
+	if len(a.Netlist.Gates) != 160 {
+		t.Errorf("c432 gate count %d", len(a.Netlist.Gates))
+	}
+	if len(a.Placement.Site) != 160 {
+		t.Errorf("placement covers %d gates", len(a.Placement.Site))
+	}
+	b, err := Build("c432", 7, arity(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Netlist.Gates {
+		if a.Netlist.Gates[i].Type != b.Netlist.Gates[i].Type {
+			t.Fatalf("gate %d type differs between identical builds", i)
+		}
+	}
+	for i := range a.Placement.Site {
+		if a.Placement.Site[i] != b.Placement.Site[i] {
+			t.Fatalf("placement differs between identical builds")
+		}
+	}
+	// Different seed ⇒ different circuit.
+	c, _ := Build("c432", 8, arity(t))
+	same := true
+	for i := range a.Placement.Site {
+		if a.Placement.Site[i] != c.Placement.Site[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("seeds 7 and 8 produced identical placements")
+	}
+}
+
+func TestBuildHistogramsMatchMix(t *testing.T) {
+	for _, name := range []string{"c6288", "c499", "c7552"} {
+		ckt, err := Build(name, 11, arity(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		target, _ := stats.NewHistogram(ckt.Spec.Mix)
+		got, err := ckt.Netlist.Histogram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := stats.TotalVariationDistance(target, got); d > 0.06 {
+			t.Errorf("%s: realized mix TV distance %g from spec", name, d)
+		}
+	}
+	// c6288 must be NOR-dominated (it is a multiplier array).
+	ckt, _ := Build("c6288", 11, arity(t))
+	h, _ := ckt.Netlist.Histogram()
+	if h.Prob("NOR2_X1") < 0.7 {
+		t.Errorf("c6288 NOR fraction = %g, want > 0.7", h.Prob("NOR2_X1"))
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("c9999", 1, arity(t)); err == nil {
+		t.Errorf("unknown circuit accepted")
+	}
+}
+
+func TestNamesSortedBySize(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("Names() = %d entries", len(names))
+	}
+	if names[0] != "c432" || names[len(names)-1] != "c7552" {
+		t.Errorf("size ordering wrong: first %s last %s", names[0], names[len(names)-1])
+	}
+}

@@ -1,0 +1,145 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigendecomposition of a symmetric matrix a using
+// the cyclic Jacobi method: a = Q·diag(values)·Qᵀ with orthonormal columns
+// of Q as eigenvectors. Eigenvalues are returned in descending order.
+//
+// Jacobi is quadratic-ish per sweep but robust and adequate for the modest
+// correlation matrices (tens to a few hundred rows) of the grid-based
+// process model; it is not intended for large systems.
+func SymEigen(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, nil, fmt.Errorf("linalg: SymEigen of non-square %dx%d matrix", a.Rows(), a.Cols())
+	}
+	if !a.IsSymmetric(1e-9) {
+		return nil, nil, fmt.Errorf("linalg: SymEigen requires a symmetric matrix")
+	}
+	// Work on a copy; accumulate rotations in q.
+	w := a.Clone()
+	q := Identity(n)
+
+	offDiag := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += w.At(i, j) * w.At(i, j)
+			}
+		}
+		return s
+	}
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			norm += w.At(i, j) * w.At(i, j)
+		}
+	}
+	tol := 1e-24 * (norm + 1)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps && offDiag() > tol; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for qi := p + 1; qi < n; qi++ {
+				apq := w.At(p, qi)
+				if apq == 0 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(qi, qi)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation G(p,q,θ) on both sides of w and the
+				// right of q.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, qi)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, qi, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(qi, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(qi, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					qkp := q.At(k, p)
+					qkq := q.At(k, qi)
+					q.Set(k, p, c*qkp-s*qkq)
+					q.Set(k, qi, s*qkp+c*qkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	values = make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for c, pr := range pairs {
+		values[c] = pr.val
+		for r := 0; r < n; r++ {
+			vectors.Set(r, c, q.At(r, pr.idx))
+		}
+	}
+	return values, vectors, nil
+}
+
+// PCAFactors returns a factor matrix B (n×k) such that B·Bᵀ approximates
+// the symmetric PSD matrix a using its k leading eigenpairs, choosing the
+// smallest k whose eigenvalues capture at least the given fraction of the
+// total variance (trace). Negative eigenvalues from round-off are dropped.
+// This is the principal-component reduction used by grid-based spatial
+// correlation models.
+func PCAFactors(a *Matrix, fraction float64) (*Matrix, int, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, 0, fmt.Errorf("linalg: PCA fraction %g outside (0, 1]", fraction)
+	}
+	values, vectors, err := SymEigen(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := a.Rows()
+	total := 0.0
+	for _, v := range values {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total == 0 {
+		return nil, 0, fmt.Errorf("linalg: matrix has no positive spectrum")
+	}
+	k := 0
+	captured := 0.0
+	for k < n && values[k] > 0 && captured < fraction*total {
+		captured += values[k]
+		k++
+	}
+	if k == 0 {
+		k = 1
+	}
+	b := NewMatrix(n, k)
+	for c := 0; c < k; c++ {
+		scale := math.Sqrt(values[c])
+		for r := 0; r < n; r++ {
+			b.Set(r, c, vectors.At(r, c)*scale)
+		}
+	}
+	return b, k, nil
+}

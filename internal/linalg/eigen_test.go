@@ -1,0 +1,176 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := NewMatrixFrom(3, 3, []float64{
+		2, 0, 0,
+		0, 5, 0,
+		0, 0, -1,
+	})
+	values, vectors, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 2, -1}
+	for i := range want {
+		if math.Abs(values[i]-want[i]) > 1e-12 {
+			t.Errorf("value[%d] = %g, want %g", i, values[i], want[i])
+		}
+	}
+	// Vectors are signed permutation columns.
+	for c := 0; c < 3; c++ {
+		norm := 0.0
+		for r := 0; r < 3; r++ {
+			norm += vectors.At(r, c) * vectors.At(r, c)
+		}
+		if math.Abs(norm-1) > 1e-12 {
+			t.Errorf("column %d not unit norm", c)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMatrixFrom(2, 2, []float64{2, 1, 1, 2})
+	values, _, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(values[0]-3) > 1e-12 || math.Abs(values[1]-1) > 1e-12 {
+		t.Errorf("values = %v, want [3 1]", values)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		a := randomSPD(rng, n)
+		values, vectors, err := SymEigen(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// A = QΛQᵀ.
+		lam := NewMatrix(n, n)
+		for i, v := range values {
+			lam.Set(i, i, v)
+		}
+		rec := vectors.Mul(lam).Mul(vectors.T())
+		if d := rec.MaxAbsDiff(a); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: reconstruction error %g", n, d)
+		}
+		// QᵀQ = I.
+		if d := vectors.T().Mul(vectors).MaxAbsDiff(Identity(n)); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: eigenvectors not orthonormal (%g)", n, d)
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if values[i] > values[i-1]+1e-12 {
+				t.Errorf("n=%d: values not descending at %d", n, i)
+			}
+		}
+		// SPD: all positive.
+		for i, v := range values {
+			if v <= 0 {
+				t.Errorf("n=%d: SPD eigenvalue %d = %g", n, i, v)
+			}
+		}
+	}
+}
+
+func TestSymEigenErrors(t *testing.T) {
+	if _, _, err := SymEigen(NewMatrix(2, 3)); err == nil {
+		t.Errorf("non-square accepted")
+	}
+	asym := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	if _, _, err := SymEigen(asym); err == nil {
+		t.Errorf("asymmetric accepted")
+	}
+}
+
+// Property: trace and Frobenius norm are preserved by the decomposition.
+func TestSymEigenInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randomSPD(rng, n)
+		values, _, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		sum := 0.0
+		for _, v := range values {
+			sum += v
+		}
+		return math.Abs(trace-sum) < 1e-8*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCAFactorsFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomSPD(rng, 8)
+	// fraction 1: BBᵀ = A exactly (all components kept).
+	b, k, err := PCAFactors(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 8 {
+		t.Errorf("full fraction kept %d of 8 components", k)
+	}
+	if d := b.Mul(b.T()).MaxAbsDiff(a); d > 1e-8 {
+		t.Errorf("BBᵀ−A = %g", d)
+	}
+}
+
+func TestPCAFactorsTruncation(t *testing.T) {
+	// A strongly low-rank matrix: one dominant direction plus noise.
+	n := 10
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 100) // rank-1 part: 100·1·1ᵀ
+		}
+		a.Add(i, i, 1) // small identity
+	}
+	b, k, err := PCAFactors(a, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("kept %d components, want 1 (dominant eigenvalue ≈ %d)", k, 100*n+1)
+	}
+	// The rank-1 reconstruction captures the bulk.
+	rec := b.Mul(b.T())
+	if math.Abs(rec.At(0, 0)-a.At(0, 0))/a.At(0, 0) > 0.05 {
+		t.Errorf("truncated reconstruction too far: %g vs %g", rec.At(0, 0), a.At(0, 0))
+	}
+}
+
+func TestPCAFactorsErrors(t *testing.T) {
+	a := Identity(3)
+	if _, _, err := PCAFactors(a, 0); err == nil {
+		t.Errorf("fraction 0 accepted")
+	}
+	if _, _, err := PCAFactors(a, 1.5); err == nil {
+		t.Errorf("fraction >1 accepted")
+	}
+	zero := NewMatrix(3, 3)
+	if _, _, err := PCAFactors(zero, 0.9); err == nil {
+		t.Errorf("zero matrix accepted")
+	}
+	if _, _, err := PCAFactors(NewMatrix(2, 3), 0.9); err == nil {
+		t.Errorf("non-square accepted")
+	}
+}

@@ -1,0 +1,126 @@
+// Package netlist provides the gate-level netlist substrate for late-mode
+// leakage estimation: a simple DAG netlist of library cells, the ISCAS85
+// ".bench" interchange format, technology mapping between generic Boolean
+// operators and library cells, random-circuit generation matching a target
+// cell-usage histogram (the §3.1.1 validation workload), and extraction of
+// the high-level characteristics the Random-Gate model consumes.
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"leakest/internal/stats"
+)
+
+// Gate is one cell instance. Fanins refer to node indices: nodes
+// 0..NumPI-1 are primary inputs, node NumPI+k is the output of gate k.
+type Gate struct {
+	Type   string
+	Fanins []int
+}
+
+// Netlist is a combinational gate-level netlist in topological order.
+type Netlist struct {
+	Name    string
+	NumPI   int
+	Gates   []Gate
+	Outputs []int // node indices of primary outputs
+}
+
+// NumNodes returns the total node count (primary inputs + gate outputs).
+func (n *Netlist) NumNodes() int { return n.NumPI + len(n.Gates) }
+
+// Validate checks topological ordering and fanin sanity.
+func (n *Netlist) Validate() error {
+	if n.NumPI < 0 {
+		return fmt.Errorf("netlist %s: negative PI count", n.Name)
+	}
+	for gi, g := range n.Gates {
+		if g.Type == "" {
+			return fmt.Errorf("netlist %s: gate %d has no type", n.Name, gi)
+		}
+		node := n.NumPI + gi
+		for _, f := range g.Fanins {
+			if f < 0 || f >= node {
+				return fmt.Errorf("netlist %s: gate %d fanin %d violates topological order", n.Name, gi, f)
+			}
+		}
+	}
+	for _, o := range n.Outputs {
+		if o < 0 || o >= n.NumNodes() {
+			return fmt.Errorf("netlist %s: output node %d out of range", n.Name, o)
+		}
+	}
+	return nil
+}
+
+// Counts returns the cell-usage counts by type.
+func (n *Netlist) Counts() map[string]int {
+	m := make(map[string]int)
+	for _, g := range n.Gates {
+		m[g.Type]++
+	}
+	return m
+}
+
+// Histogram returns the cell-usage frequency distribution (the α_i of
+// Eq. 6), extracted from the netlist.
+func (n *Netlist) Histogram() (*stats.Histogram, error) {
+	if len(n.Gates) == 0 {
+		return nil, fmt.Errorf("netlist %s: no gates", n.Name)
+	}
+	return stats.FromCounts(n.Counts())
+}
+
+// CellArity maps a cell type name to the number of real (non-pseudo) input
+// pins the netlist must wire. Sequential pseudo-state bits are not nets.
+type CellArity func(cellType string) (int, error)
+
+// RandomCircuit generates a random netlist of n gates whose cell types are
+// drawn i.i.d. from hist — the construction behind Fig. 6: the set of all
+// circuits sharing the same high-level characteristics. Fanins are wired
+// uniformly at random among earlier nodes, preserving topological order.
+func RandomCircuit(rng *rand.Rand, name string, n, numPI int, hist *stats.Histogram, arity CellArity) (*Netlist, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("netlist: gate count %d must be positive", n)
+	}
+	if numPI <= 1 {
+		numPI = 8
+	}
+	nl := &Netlist{Name: name, NumPI: numPI, Gates: make([]Gate, 0, n)}
+	for gi := 0; gi < n; gi++ {
+		typ := hist.Sample(rng)
+		k, err := arity(typ)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: %w", err)
+		}
+		avail := numPI + gi
+		fanins := make([]int, k)
+		for j := range fanins {
+			fanins[j] = rng.Intn(avail)
+		}
+		nl.Gates = append(nl.Gates, Gate{Type: typ, Fanins: fanins})
+	}
+	// Expose the last few gates as outputs.
+	numOut := 4
+	if numOut > n {
+		numOut = n
+	}
+	for i := 0; i < numOut; i++ {
+		nl.Outputs = append(nl.Outputs, nl.NumNodes()-1-i)
+	}
+	return nl, nil
+}
+
+// SortedTypes returns the distinct cell types in the netlist, sorted.
+func (n *Netlist) SortedTypes() []string {
+	counts := n.Counts()
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	return types
+}

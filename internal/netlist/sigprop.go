@@ -1,0 +1,62 @@
+package netlist
+
+import "fmt"
+
+// OutputProbFunc returns the probability that a cell's output is 1 given
+// independent per-pin 1-probabilities (sequential pseudo-state pins take
+// 0.5 by convention). Implemented by the cells package; injected here to
+// keep the netlist substrate free of transistor-level dependencies.
+type OutputProbFunc func(cellType string, pinProbs []float64) (float64, error)
+
+// PropagateProbabilities computes a signal probability for every node of
+// the netlist: primary inputs take inputProb, and each gate's output
+// probability follows from its fanin probabilities through its Boolean
+// function under the standard independence assumption (exact for trees,
+// an approximation in the presence of reconvergent fanout — the customary
+// treatment in probabilistic power analysis).
+//
+// It returns one probability per node (inputs first, then gate outputs in
+// netlist order) and, per gate, the pin-probability vectors, padding any
+// pseudo-state pins beyond the wired fanins with 0.5.
+func PropagateProbabilities(nl *Netlist, inputProb float64, arity CellArity, outProb OutputProbFunc) (nodeProbs []float64, gatePins [][]float64, err error) {
+	if inputProb < 0 || inputProb > 1 {
+		return nil, nil, fmt.Errorf("netlist: input probability %g outside [0, 1]", inputProb)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, nil, err
+	}
+	nodeProbs = make([]float64, nl.NumNodes())
+	for i := 0; i < nl.NumPI; i++ {
+		nodeProbs[i] = inputProb
+	}
+	gatePins = make([][]float64, len(nl.Gates))
+	for gi, g := range nl.Gates {
+		pins, err := arity(g.Type)
+		if err != nil {
+			return nil, nil, fmt.Errorf("netlist: gate %d: %w", gi, err)
+		}
+		if len(g.Fanins) > pins {
+			return nil, nil, fmt.Errorf("netlist: gate %d (%s) has %d fanins but %d pins",
+				gi, g.Type, len(g.Fanins), pins)
+		}
+		pp := make([]float64, pins)
+		for j := range pp {
+			if j < len(g.Fanins) {
+				pp[j] = nodeProbs[g.Fanins[j]]
+			} else {
+				pp[j] = 0.5 // unwired pseudo-state pin
+			}
+		}
+		gatePins[gi] = pp
+		p, err := outProb(g.Type, pp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("netlist: gate %d (%s): %w", gi, g.Type, err)
+		}
+		if p < 0 || p > 1 {
+			return nil, nil, fmt.Errorf("netlist: gate %d (%s): output probability %g outside [0, 1]",
+				gi, g.Type, p)
+		}
+		nodeProbs[nl.NumPI+gi] = p
+	}
+	return nodeProbs, gatePins, nil
+}

@@ -1,0 +1,89 @@
+package randvar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1},
+		{0.9750021048517795, 1.96},
+		{0.975, 1.959963984540054},
+		{0.0013498980316301035, -3},
+		{0.9999683287581669, 4},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("quantile(%g) = %.12g, want %.12g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	// Φ(Φ⁻¹(p)) = p across the domain, including deep tails.
+	for _, p := range []float64{1e-12, 1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1 - 1e-6, 1 - 1e-12} {
+		x := NormalQuantile(p)
+		back := NormalCDF(x, 0, 1)
+		if math.Abs(back-p) > 1e-12*(1+p) && math.Abs(back-p)/p > 1e-9 {
+			t.Errorf("roundtrip p=%g: got %g", p, back)
+		}
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	f := func(u float64) bool {
+		p := math.Mod(math.Abs(u), 0.5)
+		if p == 0 {
+			p = 0.25
+		}
+		return math.Abs(NormalQuantile(p)+NormalQuantile(1-p)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%g) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestLogNormalFromMoments(t *testing.T) {
+	mean, std := 3.0, 1.2
+	mu, sigma, err := LogNormalFromMoments(mean, std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moments of lognormal(mu, sigma): mean = e^{mu+sigma²/2},
+	// var = (e^{sigma²}−1)e^{2mu+sigma²}.
+	gotMean := math.Exp(mu + sigma*sigma/2)
+	gotVar := (math.Exp(sigma*sigma) - 1) * math.Exp(2*mu+sigma*sigma)
+	if math.Abs(gotMean-mean) > 1e-12 {
+		t.Errorf("mean %g, want %g", gotMean, mean)
+	}
+	if math.Abs(math.Sqrt(gotVar)-std) > 1e-12 {
+		t.Errorf("std %g, want %g", math.Sqrt(gotVar), std)
+	}
+	if _, _, err := LogNormalFromMoments(-1, 1); err == nil {
+		t.Errorf("negative mean accepted")
+	}
+	if _, _, err := LogNormalFromMoments(1, -1); err == nil {
+		t.Errorf("negative std accepted")
+	}
+	// Zero std degenerates gracefully.
+	mu, sigma, err = LogNormalFromMoments(5, 0)
+	if err != nil || sigma != 0 || math.Abs(math.Exp(mu)-5) > 1e-12 {
+		t.Errorf("degenerate case: mu=%g sigma=%g err=%v", mu, sigma, err)
+	}
+}

@@ -1,0 +1,201 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file provides robust extraction of a spatial correlation model from
+// noisy measured correlation samples — the capability the paper assumes
+// from its reference [5] (Xiong, Zolotov, He, "Robust extraction of spatial
+// correlation", ISPD 2006). Raw empirical correlations from limited test
+// structures are noisy and generally not a valid (positive-semidefinite)
+// correlation function; constraining the fit to a parametric family
+// restores validity while following the data.
+
+// CorrSample is one measured correlation at a separation distance.
+type CorrSample struct {
+	// D is the separation in µm.
+	D float64
+	// Rho is the measured correlation in [-1, 1].
+	Rho float64
+}
+
+// CorrFit is the outcome of fitting a correlation family to measurements.
+type CorrFit struct {
+	// Func is the fitted, valid correlation function.
+	Func CorrFunc
+	// Family names the fitted family ("exp", "gauss", "spherical",
+	// "truncexp").
+	Family string
+	// RMSE is the root-mean-square residual of the fit.
+	RMSE float64
+	// Floor is the fitted distance-independent component (the D2D share of
+	// the total correlation); subtracted before fitting the decaying part.
+	Floor float64
+}
+
+// rmseFor evaluates the fit quality of a candidate function with floor c:
+// model(d) = c + (1−c)·ρ(d).
+func rmseFor(f CorrFunc, floor float64, samples []CorrSample) float64 {
+	s := 0.0
+	for _, smp := range samples {
+		m := floor + (1-floor)*f.Rho(smp.D)
+		r := m - smp.Rho
+		s += r * r
+	}
+	return math.Sqrt(s / float64(len(samples)))
+}
+
+// fitScale golden-sections a single positive scale parameter against RMSE.
+func fitScale(build func(scale float64) CorrFunc, floor float64, samples []CorrSample, lo, hi float64) (CorrFunc, float64) {
+	const phi = 0.6180339887498949
+	// Work in log-space: scales span decades.
+	llo, lhi := math.Log(lo), math.Log(hi)
+	x1 := lhi - phi*(lhi-llo)
+	x2 := llo + phi*(lhi-llo)
+	f1 := rmseFor(build(math.Exp(x1)), floor, samples)
+	f2 := rmseFor(build(math.Exp(x2)), floor, samples)
+	for i := 0; i < 60; i++ {
+		if f1 < f2 {
+			lhi, x2, f2 = x2, x1, f1
+			x1 = lhi - phi*(lhi-llo)
+			f1 = rmseFor(build(math.Exp(x1)), floor, samples)
+		} else {
+			llo, x1, f1 = x1, x2, f2
+			x2 = llo + phi*(lhi-llo)
+			f2 = rmseFor(build(math.Exp(x2)), floor, samples)
+		}
+	}
+	best := math.Exp(0.5 * (llo + lhi))
+	return build(best), rmseFor(build(best), floor, samples)
+}
+
+// FitCorrFunc fits each built-in correlation family to the samples and
+// returns the best by RMSE. The floor (D2D component) is estimated from the
+// far-distance samples; the returned Func models the *within-die* part, to
+// be combined with the floor through Process.SigmaD2D/SigmaWID as
+//
+//	σ_D2D²/(σ_D2D²+σ_WID²) = Floor.
+//
+// At least four samples spanning distinct distances are required.
+func FitCorrFunc(samples []CorrSample) (CorrFit, error) {
+	if len(samples) < 4 {
+		return CorrFit{}, fmt.Errorf("spatial: need ≥4 correlation samples, got %d", len(samples))
+	}
+	sorted := append([]CorrSample(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].D < sorted[j].D })
+	if sorted[0].D < 0 {
+		return CorrFit{}, fmt.Errorf("spatial: negative distance %g", sorted[0].D)
+	}
+	if sorted[0].D == sorted[len(sorted)-1].D {
+		return CorrFit{}, fmt.Errorf("spatial: all samples at the same distance")
+	}
+	for _, s := range sorted {
+		if s.Rho < -1 || s.Rho > 1 {
+			return CorrFit{}, fmt.Errorf("spatial: correlation %g outside [-1, 1]", s.Rho)
+		}
+	}
+	dMax := sorted[len(sorted)-1].D
+
+	// Floor estimate: mean of the farthest quartile, clamped to [0, 0.95].
+	q := len(sorted) / 4
+	if q < 1 {
+		q = 1
+	}
+	floor := 0.0
+	for _, s := range sorted[len(sorted)-q:] {
+		floor += s.Rho
+	}
+	floor /= float64(q)
+	if floor < 0 {
+		floor = 0
+	}
+	if floor > 0.95 {
+		floor = 0.95
+	}
+
+	best := CorrFit{RMSE: math.Inf(1)}
+	lo, hi := dMax/1e3, dMax*10
+	// A small far-distance mean can be measurement noise rather than a real
+	// D2D floor, so each family is fitted both with the estimated floor and
+	// without one; the best residual wins.
+	for _, fl := range []float64{floor, 0} {
+		try := func(family string, fn CorrFunc, rmse float64) {
+			if rmse < best.RMSE {
+				best = CorrFit{Func: fn, Family: family, RMSE: rmse, Floor: fl}
+			}
+		}
+		fn, rmse := fitScale(func(s float64) CorrFunc { return ExpCorr{Lambda: s} }, fl, sorted, lo, hi)
+		try("exp", fn, rmse)
+		fn, rmse = fitScale(func(s float64) CorrFunc { return GaussCorr{Lambda: s} }, fl, sorted, lo, hi)
+		try("gauss", fn, rmse)
+		fn, rmse = fitScale(func(s float64) CorrFunc { return SphericalCorr{R: s} }, fl, sorted, lo, hi)
+		try("spherical", fn, rmse)
+		// Truncated exponential: scan the truncation multiple, fit λ per
+		// value.
+		for _, mult := range []float64{3, 4, 6, 8} {
+			fn, rmse = fitScale(func(s float64) CorrFunc {
+				return TruncatedExpCorr{Lambda: s, R: mult * s}
+			}, fl, sorted, lo, hi)
+			try("truncexp", fn, rmse)
+		}
+		if fl == 0 {
+			break // both branches identical when the estimate is zero
+		}
+	}
+	return best, nil
+}
+
+// BuildProcess assembles a Process from a correlation fit and the total
+// channel-length statistics: the fitted floor becomes the D2D variance
+// share and the fitted function the WID correlation.
+func (cf CorrFit) BuildProcess(lNominal, sigmaTotal, sigmaVt float64) (*Process, error) {
+	if cf.Func == nil {
+		return nil, fmt.Errorf("spatial: empty correlation fit")
+	}
+	vTot := sigmaTotal * sigmaTotal
+	p := &Process{
+		LNominal: lNominal,
+		SigmaD2D: math.Sqrt(vTot * cf.Floor),
+		SigmaWID: math.Sqrt(vTot * (1 - cf.Floor)),
+		WIDCorr:  cf.Func,
+		SigmaVt:  sigmaVt,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SimulateCorrMeasurement produces noisy correlation samples from a true
+// process, emulating test-structure extraction: nPairs device pairs per
+// distance, whose finite sample size injects ~1/√nPairs noise. Used by the
+// extraction tests and the process-extraction example.
+func SimulateCorrMeasurement(rng *rand.Rand, proc *Process, distances []float64, nPairs int) []CorrSample {
+	if nPairs < 8 {
+		nPairs = 8
+	}
+	out := make([]CorrSample, 0, len(distances))
+	for _, d := range distances {
+		rho := proc.TotalCorr(d)
+		// Sample correlation of a bivariate normal with nPairs pairs:
+		// approximately Normal(ρ, (1−ρ²)/√n) via the Fisher transform.
+		z := math.Atanh(clampRho(rho)) + rng.NormFloat64()/math.Sqrt(float64(nPairs-3))
+		out = append(out, CorrSample{D: d, Rho: math.Tanh(z)})
+	}
+	return out
+}
+
+func clampRho(r float64) float64 {
+	const eps = 1e-9
+	if r > 1-eps {
+		return 1 - eps
+	}
+	if r < -1+eps {
+		return -1 + eps
+	}
+	return r
+}

@@ -1,0 +1,150 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+
+	"math/rand"
+)
+
+func TestFitCorrFuncRecoversExp(t *testing.T) {
+	// Noise-free samples from an exponential must be recovered by the exp
+	// family with near-zero RMSE.
+	truth := ExpCorr{Lambda: 250}
+	var samples []CorrSample
+	for d := 0.0; d <= 1500; d += 75 {
+		samples = append(samples, CorrSample{D: d, Rho: truth.Rho(d)})
+	}
+	fit, err := FitCorrFunc(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.RMSE > 1e-3 {
+		t.Errorf("RMSE %g too large for noise-free data (family %s)", fit.RMSE, fit.Family)
+	}
+	// Fitted curve matches the truth across the range.
+	for d := 0.0; d <= 1500; d += 50 {
+		model := fit.Floor + (1-fit.Floor)*fit.Func.Rho(d)
+		if math.Abs(model-truth.Rho(d)) > 0.01 {
+			t.Errorf("d=%g: fit %g vs truth %g", d, model, truth.Rho(d))
+		}
+	}
+}
+
+func TestFitCorrFuncRecoversFloor(t *testing.T) {
+	// A process with a D2D floor: the fit should recover roughly the right
+	// floor and a decaying WID part.
+	proc := &Process{
+		LNominal: 0.09,
+		SigmaD2D: 0.0036 * math.Sqrt(0.4),
+		SigmaWID: 0.0036 * math.Sqrt(0.6),
+		WIDCorr:  ExpCorr{Lambda: 120},
+	}
+	var samples []CorrSample
+	for d := 0.0; d <= 1200; d += 40 {
+		samples = append(samples, CorrSample{D: d, Rho: proc.TotalCorr(d)})
+	}
+	fit, err := FitCorrFunc(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Floor-0.4) > 0.05 {
+		t.Errorf("fitted floor %g, want ≈ 0.4", fit.Floor)
+	}
+	rebuilt, err := fit.BuildProcess(0.09, 0.0036, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt process reproduces the measured total correlation.
+	for _, d := range []float64{0, 50, 150, 400, 1000} {
+		if diff := math.Abs(rebuilt.TotalCorr(d) - proc.TotalCorr(d)); diff > 0.05 {
+			t.Errorf("d=%g: rebuilt ρ %g vs true %g", d, rebuilt.TotalCorr(d), proc.TotalCorr(d))
+		}
+	}
+	if math.Abs(rebuilt.TotalSigma()-0.0036) > 1e-12 {
+		t.Errorf("rebuilt total sigma %g", rebuilt.TotalSigma())
+	}
+}
+
+func TestFitCorrFuncNoisyMeasurement(t *testing.T) {
+	// End-to-end: simulate noisy test-structure data and verify the
+	// extracted model tracks the truth within the noise level.
+	proc := Default90nm()
+	proc.WIDCorr = ExpCorr{Lambda: 800}
+	rng := rand.New(rand.NewSource(42))
+	var distances []float64
+	for d := 0.0; d <= 6000; d += 200 {
+		distances = append(distances, d)
+	}
+	samples := SimulateCorrMeasurement(rng, proc, distances, 400)
+	fit, err := FitCorrFunc(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("family %s, RMSE %.4f, floor %.3f", fit.Family, fit.RMSE, fit.Floor)
+	if fit.RMSE > 0.08 {
+		t.Errorf("noisy-fit RMSE %g implausibly large", fit.RMSE)
+	}
+	maxErr := 0.0
+	for _, d := range distances {
+		model := fit.Floor + (1-fit.Floor)*fit.Func.Rho(d)
+		if e := math.Abs(model - proc.TotalCorr(d)); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.12 {
+		t.Errorf("extracted model deviates %.3f from truth", maxErr)
+	}
+}
+
+func TestFitCorrFuncErrors(t *testing.T) {
+	good := []CorrSample{{0, 1}, {10, 0.8}, {20, 0.6}, {30, 0.4}}
+	if _, err := FitCorrFunc(good[:3]); err == nil {
+		t.Errorf("too few samples accepted")
+	}
+	bad := append([]CorrSample(nil), good...)
+	bad[1].Rho = 2
+	if _, err := FitCorrFunc(bad); err == nil {
+		t.Errorf("out-of-range correlation accepted")
+	}
+	bad = append([]CorrSample(nil), good...)
+	bad[2].D = -5
+	if _, err := FitCorrFunc(bad); err == nil {
+		t.Errorf("negative distance accepted")
+	}
+	same := []CorrSample{{5, 1}, {5, 0.9}, {5, 0.8}, {5, 0.7}}
+	if _, err := FitCorrFunc(same); err == nil {
+		t.Errorf("degenerate distances accepted")
+	}
+	var empty CorrFit
+	if _, err := empty.BuildProcess(0.09, 0.0036, 0); err == nil {
+		t.Errorf("empty fit built a process")
+	}
+}
+
+func TestSimulateCorrMeasurement(t *testing.T) {
+	proc := Default90nm()
+	rng := rand.New(rand.NewSource(3))
+	ds := []float64{0, 100, 500, 2000}
+	samples := SimulateCorrMeasurement(rng, proc, ds, 1000)
+	if len(samples) != len(ds) {
+		t.Fatalf("%d samples", len(samples))
+	}
+	for i, s := range samples {
+		if s.D != ds[i] {
+			t.Errorf("distance reordered")
+		}
+		if s.Rho < -1 || s.Rho > 1 {
+			t.Errorf("sample correlation %g out of range", s.Rho)
+		}
+		// With 1000 pairs the noise is ~3%: samples track the truth.
+		if math.Abs(s.Rho-proc.TotalCorr(s.D)) > 0.15 {
+			t.Errorf("d=%g: sample %g far from truth %g", s.D, s.Rho, proc.TotalCorr(s.D))
+		}
+	}
+	// nPairs clamp path.
+	tiny := SimulateCorrMeasurement(rng, proc, ds, 1)
+	if len(tiny) != len(ds) {
+		t.Errorf("clamped nPairs broke sampling")
+	}
+}

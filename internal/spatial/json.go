@@ -1,0 +1,103 @@
+package spatial
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CorrSpec is the serializable description of a correlation function.
+type CorrSpec struct {
+	Type   string  `json:"type"`
+	Lambda float64 `json:"lambda,omitempty"`
+	R      float64 `json:"r,omitempty"`
+}
+
+// SpecOf returns the CorrSpec describing a built-in correlation function.
+func SpecOf(c CorrFunc) (CorrSpec, error) {
+	switch v := c.(type) {
+	case ExpCorr:
+		return CorrSpec{Type: "exp", Lambda: v.Lambda}, nil
+	case GaussCorr:
+		return CorrSpec{Type: "gauss", Lambda: v.Lambda}, nil
+	case SphericalCorr:
+		return CorrSpec{Type: "spherical", R: v.R}, nil
+	case TruncatedExpCorr:
+		return CorrSpec{Type: "truncexp", Lambda: v.Lambda, R: v.R}, nil
+	case nil:
+		return CorrSpec{Type: "none"}, nil
+	default:
+		return CorrSpec{}, fmt.Errorf("spatial: cannot serialize correlation %T", c)
+	}
+}
+
+// Build constructs the correlation function described by the spec.
+func (s CorrSpec) Build() (CorrFunc, error) {
+	switch s.Type {
+	case "exp":
+		if s.Lambda <= 0 {
+			return nil, fmt.Errorf("spatial: exp spec needs lambda > 0")
+		}
+		return ExpCorr{Lambda: s.Lambda}, nil
+	case "gauss":
+		if s.Lambda <= 0 {
+			return nil, fmt.Errorf("spatial: gauss spec needs lambda > 0")
+		}
+		return GaussCorr{Lambda: s.Lambda}, nil
+	case "spherical":
+		if s.R <= 0 {
+			return nil, fmt.Errorf("spatial: spherical spec needs r > 0")
+		}
+		return SphericalCorr{R: s.R}, nil
+	case "truncexp":
+		if s.Lambda <= 0 || s.R <= 0 {
+			return nil, fmt.Errorf("spatial: truncexp spec needs lambda and r > 0")
+		}
+		return TruncatedExpCorr{Lambda: s.Lambda, R: s.R}, nil
+	case "none", "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("spatial: unknown correlation type %q", s.Type)
+	}
+}
+
+// processJSON is the wire form of Process.
+type processJSON struct {
+	LNominal float64  `json:"l_nominal_um"`
+	SigmaD2D float64  `json:"sigma_d2d_um"`
+	SigmaWID float64  `json:"sigma_wid_um"`
+	SigmaVt  float64  `json:"sigma_vt_v"`
+	WIDCorr  CorrSpec `json:"wid_corr"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Process) MarshalJSON() ([]byte, error) {
+	spec, err := SpecOf(p.WIDCorr)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(processJSON{
+		LNominal: p.LNominal,
+		SigmaD2D: p.SigmaD2D,
+		SigmaWID: p.SigmaWID,
+		SigmaVt:  p.SigmaVt,
+		WIDCorr:  spec,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Process) UnmarshalJSON(data []byte) error {
+	var w processJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	corr, err := w.WIDCorr.Build()
+	if err != nil {
+		return err
+	}
+	p.LNominal = w.LNominal
+	p.SigmaD2D = w.SigmaD2D
+	p.SigmaWID = w.SigmaWID
+	p.SigmaVt = w.SigmaVt
+	p.WIDCorr = corr
+	return nil
+}

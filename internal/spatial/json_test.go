@@ -1,0 +1,129 @@
+package spatial
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestCorrSpecRoundTrip(t *testing.T) {
+	funcs := []CorrFunc{
+		ExpCorr{Lambda: 123},
+		GaussCorr{Lambda: 45},
+		SphericalCorr{R: 678},
+		TruncatedExpCorr{Lambda: 12, R: 90},
+		nil,
+	}
+	for _, f := range funcs {
+		spec, err := SpecOf(f)
+		if err != nil {
+			t.Fatalf("SpecOf(%v): %v", f, err)
+		}
+		back, err := spec.Build()
+		if err != nil {
+			t.Fatalf("Build(%+v): %v", spec, err)
+		}
+		if f == nil {
+			if back != nil {
+				t.Errorf("nil did not round trip")
+			}
+			continue
+		}
+		if back.Name() != f.Name() {
+			t.Errorf("round trip %s → %s", f.Name(), back.Name())
+		}
+		for d := 0.0; d < 200; d += 13 {
+			if back.Rho(d) != f.Rho(d) {
+				t.Errorf("%s: ρ(%g) changed", f.Name(), d)
+			}
+		}
+	}
+}
+
+type fakeCorr struct{}
+
+func (fakeCorr) Rho(float64) float64 { return 0 }
+func (fakeCorr) Range() float64      { return 0 }
+func (fakeCorr) Name() string        { return "fake" }
+
+func TestSpecOfUnknown(t *testing.T) {
+	if _, err := SpecOf(fakeCorr{}); err == nil {
+		t.Errorf("unknown correlation type serialized")
+	}
+}
+
+func TestCorrSpecBuildErrors(t *testing.T) {
+	bad := []CorrSpec{
+		{Type: "exp"},
+		{Type: "gauss", Lambda: -1},
+		{Type: "spherical"},
+		{Type: "truncexp", Lambda: 1},
+		{Type: "mystery"},
+	}
+	for _, spec := range bad {
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("bad spec %+v built", spec)
+		}
+	}
+	// Empty type means "no correlation function".
+	f, err := CorrSpec{}.Build()
+	if err != nil || f != nil {
+		t.Errorf("empty spec: %v, %v", f, err)
+	}
+}
+
+func TestProcessJSONRoundTrip(t *testing.T) {
+	p := Default90nm()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Process
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.LNominal != p.LNominal || q.SigmaD2D != p.SigmaD2D ||
+		q.SigmaWID != p.SigmaWID || q.SigmaVt != p.SigmaVt {
+		t.Errorf("scalars changed: %+v vs %+v", q, *p)
+	}
+	if q.WIDCorr.Name() != p.WIDCorr.Name() {
+		t.Errorf("correlation changed: %s vs %s", q.WIDCorr.Name(), p.WIDCorr.Name())
+	}
+	// Unserializable correlation function fails marshalling.
+	bad := *p
+	bad.WIDCorr = fakeCorr{}
+	if _, err := json.Marshal(&bad); err == nil {
+		t.Errorf("fake correlation marshalled")
+	}
+	// Corrupt JSON fails unmarshalling.
+	if err := json.Unmarshal([]byte(`{"wid_corr":{"type":"exp"}}`), &q); err == nil {
+		t.Errorf("invalid spec unmarshalled")
+	}
+	if err := json.Unmarshal([]byte(`{`), &q); err == nil {
+		t.Errorf("syntax error unmarshalled")
+	}
+}
+
+func TestAllWIDKeepsTotalSigma(t *testing.T) {
+	p := Default90nm()
+	q := p.AllWID()
+	if q.SigmaD2D != 0 {
+		t.Errorf("AllWID left D2D = %g", q.SigmaD2D)
+	}
+	if math.Abs(q.TotalSigma()-p.TotalSigma()) > 1e-15 {
+		t.Errorf("AllWID changed total sigma: %g vs %g", q.TotalSigma(), p.TotalSigma())
+	}
+	if q.CorrFloor() != 0 {
+		t.Errorf("AllWID floor = %g", q.CorrFloor())
+	}
+	if p.SigmaD2D == 0 {
+		t.Errorf("AllWID mutated the original")
+	}
+}
+
+func TestTruncatedExpRange(t *testing.T) {
+	te := TruncatedExpCorr{Lambda: 10, R: 77}
+	if te.Range() != 77 {
+		t.Errorf("Range = %g", te.Range())
+	}
+}

@@ -1,0 +1,169 @@
+// Package stats provides descriptive statistics, histograms, and
+// reproducible random-number streams for the leakage-estimation experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRNG returns a deterministic random stream derived from a base seed and
+// a stream label, so that independent experiment stages draw from
+// non-overlapping, reproducible streams.
+func NewRNG(seed int64, stream string) *rand.Rand {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < 8; i++ {
+		h ^= uint64(seed>>(8*i)) & 0xff
+		h *= 1099511628211
+	}
+	for _, c := range []byte(stream) {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(int64(h & 0x7fffffffffffffff)))
+}
+
+// Mean returns the arithmetic mean of xs; it returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n−1) sample variance of xs; it returns 0
+// for fewer than two samples.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanStd returns the mean and sample standard deviation in one pass.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// Covariance returns the unbiased sample covariance of paired samples.
+func Covariance(xs, ys []float64) float64 {
+	n := len(xs)
+	if len(ys) != n {
+		panic(fmt.Sprintf("stats: Covariance length mismatch %d vs %d", n, len(ys)))
+	}
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n-1)
+}
+
+// Correlation returns the Pearson correlation coefficient of paired samples.
+// It returns 0 when either sample has zero variance.
+func Correlation(xs, ys []float64) float64 {
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g out of [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// RelErr returns the signed relative error (got − want)/want in percent.
+// It panics when want is 0.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		panic("stats: RelErr with zero reference")
+	}
+	return 100 * (got - want) / want
+}
+
+// Running accumulates streaming mean and variance using Welford's method,
+// avoiding the need to retain samples for large Monte-Carlo runs.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Push adds a sample to the accumulator.
+func (r *Running) Push(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples pushed.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased running sample variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the unbiased running sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
