@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test check vet race fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the full suite under the race
+# detector (the fault-injection registry and shared-library caches are
+# concurrency-sensitive).
+check: vet race
+
+# A short fuzz pass over the .bench parser; CI runs the seed corpus via
+# `go test`, this target digs further locally.
+fuzz:
+	$(GO) test -fuzz=FuzzReadBench -fuzztime=30s ./internal/netlist/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

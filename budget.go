@@ -1,0 +1,207 @@
+package leakest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"leakest/internal/core"
+	"leakest/internal/lkerr"
+)
+
+// EstimateBudget bounds the work one estimation may spend. The paper's
+// O(n) and O(1) estimators (Eqs. 17, 20, 25) are exact or near-exact
+// cheaper substitutes for the O(n²) pairwise sum (Eq. 15), so a budget that
+// rules out an expensive method degrades to the next-cheaper one instead of
+// failing; the Result records the chosen method and the degradation reason.
+//
+// The degradation ladder is O(n²) true leakage → O(n) linear → O(1)
+// integral (polar when applicable, 2-D rectangular otherwise).
+type EstimateBudget struct {
+	// MaxGates bounds methods whose cost grows with the gate count — the
+	// O(n²) pairwise sum and the O(n) linear method. 0 means no limit.
+	MaxGates int
+	// MaxPairs bounds the O(n²) pair count n·(n−1)/2. 0 means no limit.
+	MaxPairs int64
+	// Timeout is a per-rung deadline: each attempted rung gets this much
+	// time, and a rung that exceeds it degrades to the next-cheaper one.
+	// 0 means no deadline.
+	Timeout time.Duration
+}
+
+// pairs returns the O(n²) pair count of n gates.
+func pairs(n int) int64 { return int64(n) * int64(n-1) / 2 }
+
+// allowsTruth reports whether the O(n²) rung fits the static budget; the
+// reason names what tripped.
+func (b EstimateBudget) allowsTruth(n int) (bool, string) {
+	if b.MaxPairs > 0 && pairs(n) > b.MaxPairs {
+		return false, fmtReason("o(n²) skipped: %d pairs > MaxPairs=%d", pairs(n), b.MaxPairs)
+	}
+	if b.MaxGates > 0 && n > b.MaxGates {
+		return false, fmtReason("o(n²) skipped: %d gates > MaxGates=%d", n, b.MaxGates)
+	}
+	return true, ""
+}
+
+// allowsLinear reports whether the O(n) rung fits the static budget.
+func (b EstimateBudget) allowsLinear(n int) (bool, string) {
+	if b.MaxGates > 0 && n > b.MaxGates {
+		return false, fmtReason("o(n) skipped: %d gates > MaxGates=%d", n, b.MaxGates)
+	}
+	return true, ""
+}
+
+func fmtReason(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// rungCtx derives the per-rung context: the caller's ctx, bounded by the
+// budget timeout when one is set.
+func (b EstimateBudget) rungCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if b.Timeout > 0 {
+		return context.WithTimeout(ctx, b.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// degradable reports whether an error should trigger a fall to the next
+// rung: per-rung deadlines and budget refusals degrade; caller cancellation
+// and real failures do not.
+func degradable(ctx context.Context, err error) bool {
+	if err == nil {
+		return false
+	}
+	// A dead parent context means the caller gave up — don't keep trying.
+	if ctx.Err() != nil {
+		return false
+	}
+	return errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrBudgetExceeded)
+}
+
+// markDegraded flags a result obtained below the requested rung.
+func markDegraded(res Result, reasons []string) Result {
+	if len(reasons) == 0 {
+		return res
+	}
+	res.Degraded = true
+	res.DegradeReason = strings.Join(reasons, "; ")
+	return res
+}
+
+// EstimateBudgeted estimates a design's statistics under a budget,
+// degrading O(n) → O(1) when the linear method is ruled out (early-mode
+// estimation has no O(n²) rung). The Result is flagged Degraded when a
+// cheaper method than the best available one was used.
+func (e *Estimator) EstimateBudgeted(ctx context.Context, design Design, budget EstimateBudget) (res Result, err error) {
+	defer lkerr.RecoverInto(&err, "leakest.EstimateBudgeted")
+	if err := design.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
+	if err != nil {
+		return Result{}, err
+	}
+	var reasons []string
+
+	if ok, why := budget.allowsLinear(design.N); !ok {
+		reasons = append(reasons, why)
+	} else {
+		rctx, cancel := budget.rungCtx(ctx)
+		res, err = m.EstimateLinearCtx(rctx)
+		cancel()
+		if err == nil {
+			return e.finish(markDegraded(res, nil)), nil
+		}
+		if !degradable(ctx, err) {
+			return Result{}, err
+		}
+		reasons = append(reasons, "o(n) "+reasonOf(err))
+	}
+
+	res, err = e.constantTime(m)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.finish(markDegraded(res, reasons)), nil
+}
+
+// TrueLeakageBudgeted computes a placed design's statistics starting from
+// the O(n²) true-leakage baseline and degrading down the ladder — O(n²) →
+// O(n) → O(1) — whenever a rung trips the budget. The Result records the
+// method that finally ran; Degraded and DegradeReason report what was
+// skipped and why.
+func (e *Estimator) TrueLeakageBudgeted(ctx context.Context, nl *Netlist, pl *Placement, signalProb float64, budget EstimateBudget) (res Result, err error) {
+	defer lkerr.RecoverInto(&err, "leakest.TrueLeakageBudgeted")
+	design, err := e.ExtractDesign(nl, pl, signalProb)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
+	if err != nil {
+		return Result{}, err
+	}
+	var reasons []string
+
+	// Rung 1: the O(n²) pairwise sum.
+	if ok, why := budget.allowsTruth(design.N); !ok {
+		reasons = append(reasons, why)
+	} else {
+		rctx, cancel := budget.rungCtx(ctx)
+		res, err = core.TrueStatsCtx(rctx, m, nl, pl)
+		cancel()
+		if err == nil {
+			return e.finish(markDegraded(res, nil)), nil
+		}
+		if !degradable(ctx, err) {
+			return Result{}, err
+		}
+		reasons = append(reasons, "o(n²) "+reasonOf(err))
+	}
+
+	// Rung 2: the exact O(n) linear method.
+	if ok, why := budget.allowsLinear(design.N); !ok {
+		reasons = append(reasons, why)
+	} else {
+		rctx, cancel := budget.rungCtx(ctx)
+		res, err = m.EstimateLinearCtx(rctx)
+		cancel()
+		if err == nil {
+			return e.finish(markDegraded(res, reasons)), nil
+		}
+		if !degradable(ctx, err) {
+			return Result{}, err
+		}
+		reasons = append(reasons, "o(n) "+reasonOf(err))
+	}
+
+	// Rung 3: the constant-time integrals — always within budget.
+	res, err = e.constantTime(m)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.finish(markDegraded(res, reasons)), nil
+}
+
+// constantTime runs the O(1) rung: the polar integral when the correlation
+// range permits it, the 2-D rectangular integral otherwise.
+func (e *Estimator) constantTime(m *core.Model) (Result, error) {
+	if res, err := m.EstimatePolar(); err == nil {
+		return res, nil
+	}
+	return m.EstimateIntegral2D()
+}
+
+// reasonOf renders a degradation cause for DegradeReason.
+func reasonOf(err error) string {
+	switch {
+	case errors.Is(err, ErrDeadlineExceeded):
+		return "timed out"
+	case errors.Is(err, ErrBudgetExceeded):
+		return "over budget: " + err.Error()
+	default:
+		return err.Error()
+	}
+}

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -27,6 +30,23 @@ import (
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "leakest: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// failErr renders a typed estimation error with its class so scripts can
+// tell a bad invocation from a cancel or an internal numeric failure.
+func failErr(what string, err error) {
+	switch {
+	case errors.Is(err, leakest.ErrCanceled):
+		fail("%s: interrupted (%v)", what, err)
+	case errors.Is(err, leakest.ErrDeadlineExceeded):
+		fail("%s: timed out (%v)", what, err)
+	case errors.Is(err, leakest.ErrBudgetExceeded):
+		fail("%s: over budget (%v)", what, err)
+	case errors.Is(err, leakest.ErrInvalidInput):
+		fail("%s: invalid input (%v)", what, err)
+	default:
+		fail("%s: %v", what, err)
+	}
 }
 
 func parseHist(s string) (*leakest.Histogram, error) {
@@ -81,7 +101,22 @@ func main() {
 	vt := flag.Bool("vt", true, "apply the random-Vt mean correction")
 	seed := flag.Int64("seed", 1, "random seed (placement of -bench netlists)")
 	reportPath := flag.String("report", "", "write a markdown sign-off report to this path")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (e.g. 30s); 0 = none")
+	maxGates := flag.Int("max-gates", 0, "budget: degrade to cheaper estimators beyond this many gates; 0 = no limit")
+	maxPairs := flag.Int64("max-pairs", 0, "budget: skip the O(n²) truth beyond this many gate pairs; 0 = no limit")
 	flag.Parse()
+
+	// Ctrl-C cancels the run cleanly; -timeout bounds it. Both surface as
+	// typed Canceled / DeadlineExceeded errors from the library.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	budget := leakest.EstimateBudget{MaxGates: *maxGates, MaxPairs: *maxPairs}
+	budgeted := *maxGates > 0 || *maxPairs > 0
 
 	method, err := parseMethod(*methodFlag)
 	if err != nil {
@@ -103,11 +138,11 @@ func main() {
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "characterizing the built-in ISCAS cell subset...")
-		lib, err = leakest.Characterize(cells.ISCASSubset(), leakest.CharConfig{
+		lib, err = leakest.CharacterizeContext(ctx, cells.ISCASSubset(), leakest.CharConfig{
 			Process: leakest.DefaultProcess(), Seed: 20070604,
 		})
 		if err != nil {
-			fail("characterizing: %v", err)
+			failErr("characterizing", err)
 		}
 	}
 
@@ -160,22 +195,38 @@ func main() {
 		fmt.Printf("signal probability: %.3f\n", *p)
 	}
 
-	res, err := est.Estimate(design, method)
+	var res leakest.Result
+	if budgeted {
+		res, err = est.EstimateBudgeted(ctx, design, budget)
+	} else {
+		res, err = est.EstimateContext(ctx, design, method)
+	}
 	if err != nil {
-		fail("estimating: %v", err)
+		failErr("estimating", err)
 	}
 	fmt.Printf("\nmethod: %s", res.Method)
 	if res.Note != "" {
 		fmt.Printf(" (%s)", res.Note)
+	}
+	if res.Degraded {
+		fmt.Printf("\ndegraded: %s", res.DegradeReason)
 	}
 	fmt.Printf("\nmean leakage: %.4g A\nstd  leakage: %.4g A  (%.2f%% of mean)\n",
 		res.Mean, res.Std, 100*res.Std/res.Mean)
 	fmt.Printf("mean + 3σ:    %.4g A\n", res.Mean+3*res.Std)
 
 	if *truth && nl != nil {
-		tr, err := est.TrueLeakage(nl, pl, design.SignalProb)
+		var tr leakest.Result
+		if budgeted {
+			tr, err = est.TrueLeakageBudgeted(ctx, nl, pl, design.SignalProb, budget)
+		} else {
+			tr, err = est.TrueLeakageContext(ctx, nl, pl, design.SignalProb)
+		}
 		if err != nil {
-			fail("true leakage: %v", err)
+			failErr("true leakage", err)
+		}
+		if tr.Degraded {
+			fmt.Printf("\ntruth degraded to %s: %s\n", tr.Method, tr.DegradeReason)
 		}
 		fmt.Printf("\ntrue O(n²):   mean %.4g A, std %.4g A\n", tr.Mean, tr.Std)
 		fmt.Printf("estimate err: mean %+.2f%%, std %+.2f%%\n",
@@ -202,9 +253,9 @@ func main() {
 		if est.ApplyVtMean {
 			fmt.Fprintln(os.Stderr, "note: Monte Carlo below excludes the Vt mean factor")
 		}
-		r, err := est.MonteCarlo(nl, pl, design.SignalProb, *mc, *seed)
+		r, err := est.MonteCarloContext(ctx, nl, pl, design.SignalProb, *mc, *seed)
 		if err != nil {
-			fail("monte carlo: %v", err)
+			failErr("monte carlo", err)
 		}
 		fmt.Printf("\nchip MC (%d): mean %.4g A, std %.4g A, 5th–95th pct [%.4g, %.4g] A\n",
 			r.Samples, r.Mean, r.Std, r.Q05, r.Q95)

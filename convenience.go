@@ -1,6 +1,7 @@
 package leakest
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"leakest/internal/chipmc"
 	"leakest/internal/core"
 	"leakest/internal/iscas"
+	"leakest/internal/lkerr"
 	"leakest/internal/netlist"
 	"leakest/internal/placement"
 	"leakest/internal/stats"
@@ -105,12 +107,38 @@ type MonteCarloResult = chipmc.Result
 // It is limited to a few thousand gates (dense field factorization) and
 // serves as an independent ground truth for the analytic estimators.
 func (e *Estimator) MonteCarlo(nl *Netlist, pl *Placement, signalProb float64, samples int, seed int64) (MonteCarloResult, error) {
-	return chipmc.Run(chipmc.Config{
+	return e.MonteCarloContext(context.Background(), nl, pl, signalProb, samples, seed)
+}
+
+// MonteCarloContext is MonteCarlo with cancellation: ctx is checked once
+// per covariance-assembly row and once per chip-level trial, so a cancel or
+// deadline stops the run within one check interval. Oversized designs
+// (beyond the dense-field gate limit) return a typed BudgetExceeded error
+// suggesting the analytic estimators.
+func (e *Estimator) MonteCarloContext(ctx context.Context, nl *Netlist, pl *Placement, signalProb float64, samples int, seed int64) (res MonteCarloResult, err error) {
+	defer lkerr.RecoverInto(&err, "leakest.MonteCarlo")
+	return chipmc.RunContext(ctx, chipmc.Config{
 		Lib:        e.lib,
 		Proc:       e.proc,
 		SignalProb: signalProb,
 		Samples:    samples,
 		Seed:       seed,
+	}, nl, pl)
+}
+
+// MonteCarloBudgeted is MonteCarloContext with an explicit gate budget:
+// designs larger than maxGates are refused up front with a typed
+// BudgetExceeded error naming the limit, instead of attempting the O(n³)
+// dense-field factorization. maxGates ≤ 0 selects the default limit.
+func (e *Estimator) MonteCarloBudgeted(ctx context.Context, nl *Netlist, pl *Placement, signalProb float64, samples int, seed int64, maxGates int) (res MonteCarloResult, err error) {
+	defer lkerr.RecoverInto(&err, "leakest.MonteCarlo")
+	return chipmc.RunContext(ctx, chipmc.Config{
+		Lib:        e.lib,
+		Proc:       e.proc,
+		SignalProb: signalProb,
+		Samples:    samples,
+		Seed:       seed,
+		MaxGates:   maxGates,
 	}, nl, pl)
 }
 
@@ -159,7 +187,8 @@ func (e *Estimator) Breakdown(design Design) (VarianceBreakdown, error) {
 // (tile edge in µm; 0 selects an automatic fraction of the correlation
 // length). It trades sub-percent σ accuracy for near-linear runtime on
 // large placed designs.
-func (e *Estimator) FastTrueLeakage(nl *Netlist, pl *Placement, signalProb, tile float64) (Result, error) {
+func (e *Estimator) FastTrueLeakage(nl *Netlist, pl *Placement, signalProb, tile float64) (res Result, err error) {
+	defer lkerr.RecoverInto(&err, "leakest.FastTrueLeakage")
 	design, err := e.ExtractDesign(nl, pl, signalProb)
 	if err != nil {
 		return Result{}, err
@@ -168,7 +197,7 @@ func (e *Estimator) FastTrueLeakage(nl *Netlist, pl *Placement, signalProb, tile
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := core.FastTrueStats(m, nl, pl, tile)
+	res, err = core.FastTrueStats(m, nl, pl, tile)
 	if err != nil {
 		return Result{}, err
 	}

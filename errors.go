@@ -1,0 +1,54 @@
+package leakest
+
+import "leakest/internal/lkerr"
+
+// ErrorCode classifies every failure that can escape the public API. Use
+// CodeOf or the Err* sentinels with errors.Is to branch on the class:
+//
+//	res, err := est.EstimateContext(ctx, design, leakest.Auto)
+//	switch {
+//	case errors.Is(err, leakest.ErrInvalidInput):
+//		// fix the design spec
+//	case errors.Is(err, leakest.ErrCanceled):
+//		// the caller's ctx was canceled
+//	case errors.Is(err, leakest.ErrBudgetExceeded):
+//		// too big for the requested method; try an analytic estimator
+//	}
+type ErrorCode = lkerr.Code
+
+// EstimationError is the concrete typed error; errors.As extracts it to
+// read the faulting site (Op) and message.
+type EstimationError = lkerr.Error
+
+// Error codes.
+const (
+	// CodeInvalidInput marks a caller error (out-of-range parameters,
+	// empty histograms, inconsistent netlist/placement pairs).
+	CodeInvalidInput = lkerr.InvalidInput
+	// CodeNumerical marks an internal numeric failure (NaN/Inf from a
+	// kernel, non-positive-definite covariance, recovered panic).
+	CodeNumerical = lkerr.Numerical
+	// CodeCanceled means the caller's context was canceled mid-computation.
+	CodeCanceled = lkerr.Canceled
+	// CodeDeadlineExceeded means a deadline or budget timeout expired.
+	CodeDeadlineExceeded = lkerr.DeadlineExceeded
+	// CodeBudgetExceeded means a size budget ruled the computation out.
+	CodeBudgetExceeded = lkerr.BudgetExceeded
+	// CodeDegraded marks an exhausted degradation ladder.
+	CodeDegraded = lkerr.Degraded
+)
+
+// Sentinel errors for errors.Is; each matches every error of its class.
+// Canceled and DeadlineExceeded errors additionally satisfy
+// errors.Is(err, context.Canceled) and errors.Is(err, context.DeadlineExceeded).
+var (
+	ErrInvalidInput     = lkerr.ErrInvalidInput
+	ErrNumerical        = lkerr.ErrNumerical
+	ErrCanceled         = lkerr.ErrCanceled
+	ErrDeadlineExceeded = lkerr.ErrDeadlineExceeded
+	ErrBudgetExceeded   = lkerr.ErrBudgetExceeded
+	ErrDegraded         = lkerr.ErrDegraded
+)
+
+// CodeOf extracts the ErrorCode from an error chain; 0 means unclassified.
+func CodeOf(err error) ErrorCode { return lkerr.CodeOf(err) }

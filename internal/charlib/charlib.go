@@ -15,11 +15,14 @@
 package charlib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"leakest/internal/cells"
+	"leakest/internal/fault"
 	"leakest/internal/linalg"
+	"leakest/internal/lkerr"
 	"leakest/internal/quad"
 	"leakest/internal/randvar"
 	"leakest/internal/spatial"
@@ -215,11 +218,19 @@ func (l *Library) rebuild() error {
 
 // Characterize runs the full characterization of lib under cfg.
 func Characterize(lib []*cells.Cell, cfg Config) (*Library, error) {
+	return CharacterizeContext(context.Background(), lib, cfg)
+}
+
+// CharacterizeContext is Characterize with cancellation: ctx is checked
+// before every (cell, state) characterization and periodically inside each
+// state's Monte-Carlo loop, so a cancel lands within one check interval.
+func CharacterizeContext(ctx context.Context, lib []*cells.Cell, cfg Config) (*Library, error) {
+	const op = "charlib.Characterize"
 	if err := cfg.setDefaults(); err != nil {
-		return nil, err
+		return nil, lkerr.Wrap(lkerr.InvalidInput, op, err)
 	}
 	if len(lib) == 0 {
-		return nil, fmt.Errorf("charlib: empty cell library")
+		return nil, lkerr.New(lkerr.InvalidInput, op, "empty cell library")
 	}
 	proc := cfg.Process
 	mu, sigma := proc.LNominal, proc.TotalSigma()
@@ -233,9 +244,13 @@ func Characterize(lib []*cells.Cell, cfg Config) (*Library, error) {
 			Class:      cell.Class,
 		}
 		for s := uint(0); s < uint(cell.NumStates()); s++ {
-			st, err := characterizeState(cell, s, mu, sigma, &cfg)
+			if err := lkerr.FromContext(ctx, op); err != nil {
+				return nil, err
+			}
+			st, err := characterizeState(ctx, cell, s, mu, sigma, &cfg)
 			if err != nil {
-				return nil, fmt.Errorf("charlib: %s state %d: %w", cell.Name, s, err)
+				return nil, lkerr.Wrap(lkerr.Numerical, op,
+					fmt.Errorf("%s state %d: %w", cell.Name, s, err))
 			}
 			cc.States = append(cc.States, st)
 		}
@@ -247,7 +262,12 @@ func Characterize(lib []*cells.Cell, cfg Config) (*Library, error) {
 	return out, nil
 }
 
-func characterizeState(cell *cells.Cell, state uint, mu, sigma float64, cfg *Config) (StateChar, error) {
+// mcCheckInterval is how many Monte-Carlo samples run between cancellation
+// checks inside a state characterization.
+const mcCheckInterval = 4096
+
+func characterizeState(ctx context.Context, cell *cells.Cell, state uint, mu, sigma float64, cfg *Config) (StateChar, error) {
+	fault.Hit(fault.SiteCharState)
 	st := StateChar{State: state}
 	// 1. Tabulate ln I over the curve grid; clamp the lower end above zero
 	//    channel length.
@@ -294,13 +314,30 @@ func characterizeState(cell *cells.Cell, state uint, mu, sigma float64, cfg *Con
 	rng := stats.NewRNG(cfg.Seed, fmt.Sprintf("char/%s/%d", cell.Name, state))
 	var run stats.Running
 	for i := 0; i < cfg.MCSamples; i++ {
+		if i%mcCheckInterval == 0 {
+			if err := lkerr.FromContext(ctx, "charlib.Characterize"); err != nil {
+				return st, err
+			}
+		}
 		l := mu + sigma*rng.NormFloat64()
 		if l < sp.Min() {
 			l = sp.Min()
 		}
 		run.Push(math.Exp(sp.Eval(l)))
 	}
-	st.MCMean, st.MCStd = run.Mean(), run.StdDev()
+	st.MCMean = fault.Corrupt(fault.SiteCharMoments, run.Mean())
+	st.MCStd = run.StdDev()
+	for _, q := range []struct {
+		name string
+		v    float64
+	}{
+		{"MC mean", st.MCMean}, {"MC std", st.MCStd},
+		{"fit mean", st.FitMean}, {"fit std", st.FitStd},
+	} {
+		if err := lkerr.CheckFinite("charlib.Characterize", q.name, q.v); err != nil {
+			return st, err
+		}
+	}
 	return st, nil
 }
 

@@ -9,12 +9,14 @@
 package chipmc
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"sort"
 
 	"leakest/internal/charlib"
+	"leakest/internal/fault"
 	"leakest/internal/linalg"
+	"leakest/internal/lkerr"
 	"leakest/internal/netlist"
 	"leakest/internal/placement"
 	"leakest/internal/randvar"
@@ -22,10 +24,10 @@ import (
 	"leakest/internal/stats"
 )
 
-// MaxGates bounds the dense-Cholesky field construction; beyond this the
-// O(n³) factorization is impractical and the analytic estimators are the
-// intended tool.
-const MaxGates = 4000
+// DefaultMaxGates is the default bound on the dense-Cholesky field
+// construction; beyond this the O(n³) factorization is impractical and the
+// analytic estimators are the intended tool. Override with Config.MaxGates.
+const DefaultMaxGates = 4000
 
 // Config controls a full-chip Monte-Carlo run.
 type Config struct {
@@ -45,6 +47,10 @@ type Config struct {
 	// gate are lumped into one factor), which is conservative for the
 	// ablation that shows the contribution is negligible.
 	IncludeVt bool
+	// MaxGates bounds the gate count the dense field sampler will accept
+	// (default DefaultMaxGates). Exceeding it is a typed BudgetExceeded
+	// error, not a crash: the analytic estimators handle larger designs.
+	MaxGates int
 }
 
 // Result is the sampled full-chip leakage distribution summary.
@@ -63,34 +69,51 @@ type gateState struct {
 
 // Run executes the Monte Carlo for the placed netlist.
 func Run(cfg Config, nl *netlist.Netlist, pl *placement.Placement) (Result, error) {
+	return RunContext(context.Background(), cfg, nl, pl)
+}
+
+// RunContext is Run with cancellation: ctx is checked once per row while
+// assembling the n×n field covariance and once per chip-level trial, so a
+// cancel stops the run within one check interval.
+func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placement.Placement) (Result, error) {
+	const op = "chipmc.Run"
 	n := len(nl.Gates)
 	if n == 0 {
-		return Result{}, fmt.Errorf("chipmc: empty netlist")
+		return Result{}, lkerr.New(lkerr.InvalidInput, op, "empty netlist")
 	}
-	if n > MaxGates {
-		return Result{}, fmt.Errorf("chipmc: %d gates exceed the dense-field limit %d", n, MaxGates)
+	maxGates := cfg.MaxGates
+	if maxGates == 0 {
+		maxGates = DefaultMaxGates
+	}
+	if n > maxGates {
+		return Result{}, lkerr.New(lkerr.BudgetExceeded, op,
+			"%d gates exceed the dense-field limit MaxGates=%d (O(n³) factorization); "+
+				"use the analytic estimators (Estimate / TrueLeakage) for designs this large",
+			n, maxGates)
 	}
 	if len(pl.Site) != n {
-		return Result{}, fmt.Errorf("chipmc: placement covers %d gates, netlist has %d", len(pl.Site), n)
+		return Result{}, lkerr.New(lkerr.InvalidInput, op,
+			"placement covers %d gates, netlist has %d", len(pl.Site), n)
 	}
 	if cfg.Lib == nil || cfg.Proc == nil {
-		return Result{}, fmt.Errorf("chipmc: Lib and Proc are required")
+		return Result{}, lkerr.New(lkerr.InvalidInput, op, "Lib and Proc are required")
 	}
 	if err := cfg.Proc.Validate(); err != nil {
-		return Result{}, fmt.Errorf("chipmc: %w", err)
+		return Result{}, lkerr.Wrap(lkerr.InvalidInput, op, err)
 	}
 	if math.Abs(cfg.Proc.LNominal-cfg.Lib.Process.LNominal) > 1e-12 ||
 		math.Abs(cfg.Proc.TotalSigma()-cfg.Lib.Process.TotalSigma()) > 1e-12 {
-		return Result{}, fmt.Errorf("chipmc: process inconsistent with characterization")
+		return Result{}, lkerr.New(lkerr.InvalidInput, op, "process inconsistent with characterization")
 	}
-	if cfg.SignalProb < 0 || cfg.SignalProb > 1 {
-		return Result{}, fmt.Errorf("chipmc: signal probability %g outside [0,1]", cfg.SignalProb)
+	if !(cfg.SignalProb >= 0 && cfg.SignalProb <= 1) {
+		return Result{}, lkerr.New(lkerr.InvalidInput, op,
+			"signal probability %g outside [0,1]", cfg.SignalProb)
 	}
 	if cfg.Samples == 0 {
 		cfg.Samples = 2000
 	}
 	if cfg.Samples < 10 {
-		return Result{}, fmt.Errorf("chipmc: %d samples too few", cfg.Samples)
+		return Result{}, lkerr.New(lkerr.InvalidInput, op, "%d samples too few", cfg.Samples)
 	}
 
 	// Per-gate state tables.
@@ -98,7 +121,7 @@ func Run(cfg Config, nl *netlist.Netlist, pl *placement.Placement) (Result, erro
 	for g, gate := range nl.Gates {
 		cc, err := cfg.Lib.Cell(gate.Type)
 		if err != nil {
-			return Result{}, fmt.Errorf("chipmc: %w", err)
+			return Result{}, lkerr.Wrap(lkerr.InvalidInput, op, err)
 		}
 		gs := gateState{}
 		cumP := 0.0
@@ -112,7 +135,8 @@ func Run(cfg Config, nl *netlist.Netlist, pl *placement.Placement) (Result, erro
 			gs.cum = append(gs.cum, cumP)
 		}
 		if len(gs.states) == 0 {
-			return Result{}, fmt.Errorf("chipmc: gate %d (%s) has no reachable states", g, gate.Type)
+			return Result{}, lkerr.New(lkerr.InvalidInput, op,
+				"gate %d (%s) has no reachable states", g, gate.Type)
 		}
 		gs.cum[len(gs.cum)-1] = 1
 		gates[g] = gs
@@ -125,6 +149,9 @@ func Run(cfg Config, nl *netlist.Netlist, pl *placement.Placement) (Result, erro
 	vw := cfg.Proc.SigmaWID * cfg.Proc.SigmaWID
 	cov := linalg.NewMatrix(n, n)
 	for a := 0; a < n; a++ {
+		if err := lkerr.FromContext(ctx, op); err != nil {
+			return Result{}, err
+		}
 		cov.Set(a, a, vd+vw)
 		for b := a + 1; b < n; b++ {
 			rho := 0.0
@@ -142,7 +169,9 @@ func Run(cfg Config, nl *netlist.Netlist, pl *placement.Placement) (Result, erro
 	}
 	sampler, err := randvar.NewMVNSampler(mean, cov)
 	if err != nil {
-		return Result{}, fmt.Errorf("chipmc: field sampler: %w", err)
+		// Factorization failures (non-PD covariance, NaN factor) are
+		// numerical; the classification survives if already typed.
+		return Result{}, lkerr.Wrap(lkerr.Numerical, op, err)
 	}
 
 	const nvt = 1.4 * 0.0259 // n·vT of the default 90 nm card
@@ -151,6 +180,10 @@ func Run(cfg Config, nl *netlist.Netlist, pl *placement.Placement) (Result, erro
 	totals := make([]float64, cfg.Samples)
 	var run stats.Running
 	for trial := 0; trial < cfg.Samples; trial++ {
+		if err := lkerr.FromContext(ctx, op); err != nil {
+			return Result{}, err
+		}
+		fault.Hit(fault.SiteChipMCTrial)
 		sampler.Sample(rng, ls)
 		total := 0.0
 		for g := 0; g < n; g++ {
@@ -170,14 +203,24 @@ func Run(cfg Config, nl *netlist.Netlist, pl *placement.Placement) (Result, erro
 			}
 			total += x
 		}
+		total = fault.Corrupt(fault.SiteChipMCTrial, total)
 		totals[trial] = total
 		run.Push(total)
 	}
-	return Result{
+	res := Result{
 		Mean:    run.Mean(),
 		Std:     run.StdDev(),
 		Q05:     stats.Quantile(totals, 0.05),
 		Q95:     stats.Quantile(totals, 0.95),
 		Samples: cfg.Samples,
-	}, nil
+	}
+	// Final-moment guard: a NaN produced by any trial must surface as a
+	// typed error, never as a silent NaN result.
+	if err := lkerr.CheckFinite(op, "mean", res.Mean); err != nil {
+		return Result{}, err
+	}
+	if err := lkerr.CheckFinite(op, "std", res.Std); err != nil {
+		return Result{}, err
+	}
+	return res, nil
 }

@@ -1,15 +1,18 @@
 package chipmc
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"leakest/internal/charlib"
 	"leakest/internal/core"
+	"leakest/internal/lkerr"
 	"leakest/internal/netlist"
 	"leakest/internal/placement"
 	"leakest/internal/spatial"
 	"leakest/internal/stats"
+	"strings"
 )
 
 func testSetup(t *testing.T, n int) (*charlib.Library, *spatial.Process, *netlist.Netlist, *placement.Placement) {
@@ -147,13 +150,31 @@ func TestRunValidation(t *testing.T) {
 func TestGateCountGuard(t *testing.T) {
 	lib, proc, _, _ := testSetup(t, 16)
 	big := &netlist.Netlist{Name: "big", NumPI: 1}
-	for i := 0; i < MaxGates+1; i++ {
+	for i := 0; i < DefaultMaxGates+1; i++ {
 		big.Gates = append(big.Gates, netlist.Gate{Type: "INV_X1"})
 	}
-	grid, _ := placement.AutoGrid(MaxGates + 1)
-	pl, _ := placement.RowMajor(grid, MaxGates+1)
-	if _, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5}, big, pl); err == nil {
-		t.Errorf("oversized netlist accepted")
+	grid, _ := placement.AutoGrid(DefaultMaxGates + 1)
+	pl, _ := placement.RowMajor(grid, DefaultMaxGates+1)
+	_, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5}, big, pl)
+	if err == nil {
+		t.Fatalf("oversized netlist accepted")
+	}
+	if !errors.Is(err, lkerr.ErrBudgetExceeded) {
+		t.Errorf("gate-count guard returned %v, want BudgetExceeded", err)
+	}
+	// The configured limit overrides the default, and the error names it.
+	_, err = Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, MaxGates: 8}, big, pl)
+	if !errors.Is(err, lkerr.ErrBudgetExceeded) || !strings.Contains(err.Error(), "MaxGates=8") {
+		t.Errorf("configured limit not reported: %v", err)
+	}
+	// Raising the budget admits the design (don't run it: just check the
+	// guard no longer fires by using a tiny but sufficient netlist).
+	small := &netlist.Netlist{Name: "small", NumPI: 1,
+		Gates: []netlist.Gate{{Type: "INV_X1"}, {Type: "INV_X1"}}}
+	sg, _ := placement.AutoGrid(2)
+	spl, _ := placement.RowMajor(sg, 2)
+	if _, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, MaxGates: 2, Samples: 10}, small, spl); err != nil {
+		t.Errorf("within-budget run failed: %v", err)
 	}
 }
 

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"leakest/internal/fault"
+	"leakest/internal/lkerr"
 	"leakest/internal/quad"
 )
 
@@ -19,6 +22,24 @@ type Result struct {
 	GridRows, GridCols int
 	// Note carries estimator-specific remarks (e.g. occupancy scaling).
 	Note string
+	// Degraded reports that a budget ruled out the requested method and the
+	// statistics come from a cheaper estimator (Method names which one).
+	Degraded bool
+	// DegradeReason explains which budget tripped and what was skipped.
+	DegradeReason string
+}
+
+// checkFinite rejects a result whose statistics carry NaN or Inf, naming
+// the offending quantity — the final-moment guard that keeps a corrupted
+// accumulation from escaping as a silent NaN.
+func (r Result) checkFinite(op string) (Result, error) {
+	if err := lkerr.CheckFinite(op, "mean", r.Mean); err != nil {
+		return Result{}, err
+	}
+	if err := lkerr.CheckFinite(op, "std", r.Std); err != nil {
+		return Result{}, err
+	}
+	return r, nil
 }
 
 // modelGrid factorizes the spec into the k×m RG array of Fig. 4 whose
@@ -44,6 +65,12 @@ func (m *Model) modelGrid() (rows, cols int) {
 // §3.1 (Eq. 17): the pairwise covariance sum regrouped by distance vector
 // with multiplicity (m−|i|)(k−|j|).
 func (m *Model) EstimateLinear() (Result, error) {
+	return m.EstimateLinearCtx(context.Background())
+}
+
+// EstimateLinearCtx is EstimateLinear with cancellation: the distance-vector
+// loop checks ctx once per grid column.
+func (m *Model) EstimateLinearCtx(ctx context.Context) (Result, error) {
 	k, cols := m.modelGrid()
 	s := k * cols
 	dw := m.Spec.W / float64(cols)
@@ -53,6 +80,9 @@ func (m *Model) EstimateLinear() (Result, error) {
 	// diagonal term (0,0) contributes S·σ²_XI.
 	off := 0.0
 	for i := 0; i <= cols-1; i++ {
+		if err := lkerr.FromContext(ctx, "core.EstimateLinear"); err != nil {
+			return Result{}, err
+		}
 		for j := 0; j <= k-1; j++ {
 			if i == 0 && j == 0 {
 				continue
@@ -72,6 +102,7 @@ func (m *Model) EstimateLinear() (Result, error) {
 			off += count * mult * cov
 		}
 	}
+	off = fault.Corrupt(fault.SiteLinearAccum, off)
 	n := float64(m.Spec.N)
 	note := ""
 	if s != m.Spec.N {
@@ -87,7 +118,7 @@ func (m *Model) EstimateLinear() (Result, error) {
 		GridRows: k,
 		GridCols: cols,
 		Note:     note,
-	}, nil
+	}.checkFinite("core.EstimateLinear")
 }
 
 // EstimateIntegral2D computes the statistics with the constant-time 2-D
@@ -115,7 +146,7 @@ func (m *Model) EstimateIntegral2D() (Result, error) {
 		Std:    math.Sqrt(variance),
 		Method: "integral-2d",
 		Note:   fmt.Sprintf("%d×%d Gauss-Legendre panels", nx, ny),
-	}, nil
+	}.checkFinite("core.EstimateIntegral2D")
 }
 
 // panelCounts sizes the quadrature grid so each correlation length gets
@@ -154,7 +185,8 @@ func (m *Model) EstimatePolar() (Result, error) {
 		dmax = m.Proc.EffectiveRange(1e-4)
 	}
 	if dmax > math.Min(w, h) {
-		return Result{}, fmt.Errorf("core: polar method needs correlation range %.4g ≤ min(W,H) = %.4g; use EstimateIntegral2D",
+		return Result{}, lkerr.New(lkerr.InvalidInput, "core.EstimatePolar",
+			"polar method needs correlation range %.4g ≤ min(W,H) = %.4g; use EstimateIntegral2D",
 			dmax, math.Min(w, h))
 	}
 	floor := m.CovAtCorr(m.Proc.CorrFloor())
@@ -187,7 +219,7 @@ func (m *Model) EstimatePolar() (Result, error) {
 		Std:    math.Sqrt(variance),
 		Method: "polar-1d",
 		Note:   fmt.Sprintf("Dmax = %.4g µm", dmax),
-	}, nil
+	}.checkFinite("core.EstimatePolar")
 }
 
 // EstimateNaive is the no-correlation baseline in the style of the early
@@ -200,5 +232,5 @@ func (m *Model) EstimateNaive() (Result, error) {
 		Mean:   n * m.mu,
 		Std:    math.Sqrt(n * m.variance),
 		Method: "naive-independent",
-	}, nil
+	}.checkFinite("core.EstimateNaive")
 }

@@ -8,10 +8,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"leakest/internal/charlib"
+	"leakest/internal/lkerr"
 	"leakest/internal/quad"
 	"leakest/internal/spatial"
 	"leakest/internal/stats"
@@ -71,19 +73,22 @@ type DesignSpec struct {
 	SignalProb float64
 }
 
-// Validate checks the spec for consistency.
+// Validate checks the spec for consistency. Violations are typed
+// InvalidInput errors, so a malformed design fails loudly at the Estimate
+// entry instead of surfacing as a downstream NaN.
 func (s *DesignSpec) Validate() error {
+	const op = "core.DesignSpec"
 	if s.Hist == nil || s.Hist.Len() == 0 {
-		return fmt.Errorf("core: spec has no cell-usage histogram")
+		return lkerr.New(lkerr.InvalidInput, op, "no cell-usage histogram")
 	}
 	if s.N <= 0 {
-		return fmt.Errorf("core: spec gate count %d must be positive", s.N)
+		return lkerr.New(lkerr.InvalidInput, op, "gate count %d must be positive", s.N)
 	}
-	if s.W <= 0 || s.H <= 0 {
-		return fmt.Errorf("core: spec dimensions %g×%g must be positive", s.W, s.H)
+	if !(s.W > 0) || !(s.H > 0) || math.IsInf(s.W, 0) || math.IsInf(s.H, 0) {
+		return lkerr.New(lkerr.InvalidInput, op, "dimensions %g×%g must be positive and finite", s.W, s.H)
 	}
-	if s.SignalProb < 0 || s.SignalProb > 1 {
-		return fmt.Errorf("core: signal probability %g outside [0, 1]", s.SignalProb)
+	if !(s.SignalProb >= 0 && s.SignalProb <= 1) {
+		return lkerr.New(lkerr.InvalidInput, op, "signal probability %g outside [0, 1]", s.SignalProb)
 	}
 	return nil
 }
@@ -123,8 +128,15 @@ const covGridPoints = 33
 // NewModel builds the RG model: the variant distribution, its moments
 // (Eqs. 7–8), and the aggregated covariance mapping F(ρ_L) of Eq. 10.
 func NewModel(lib *charlib.Library, proc *spatial.Process, spec DesignSpec, mode Mode) (*Model, error) {
+	return NewModelCtx(context.Background(), lib, proc, spec, mode)
+}
+
+// NewModelCtx is NewModel with cancellation: the F(ρ_L) tabulation — the
+// only model-construction step whose cost grows with the variant count —
+// checks ctx at every ρ grid point.
+func NewModelCtx(ctx context.Context, lib *charlib.Library, proc *spatial.Process, spec DesignSpec, mode Mode) (*Model, error) {
 	if lib == nil {
-		return nil, fmt.Errorf("core: nil characterized library")
+		return nil, lkerr.New(lkerr.InvalidInput, "core.NewModel", "nil characterized library")
 	}
 	if proc == nil {
 		proc = lib.Process
@@ -139,7 +151,8 @@ func NewModel(lib *charlib.Library, proc *spatial.Process, spec DesignSpec, mode
 	// swap the correlation model but must match those.
 	if math.Abs(proc.LNominal-lib.Process.LNominal) > 1e-12 ||
 		math.Abs(proc.TotalSigma()-lib.Process.TotalSigma()) > 1e-12 {
-		return nil, fmt.Errorf("core: process (µ=%g, σ=%g) inconsistent with characterization (µ=%g, σ=%g)",
+		return nil, lkerr.New(lkerr.InvalidInput, "core.NewModel",
+			"process (µ=%g, σ=%g) inconsistent with characterization (µ=%g, σ=%g)",
 			proc.LNominal, proc.TotalSigma(), lib.Process.LNominal, lib.Process.TotalSigma())
 	}
 
@@ -171,7 +184,7 @@ func NewModel(lib *charlib.Library, proc *spatial.Process, spec DesignSpec, mode
 		}
 	}
 	if len(m.vars) == 0 {
-		return nil, fmt.Errorf("core: RG distribution is empty")
+		return nil, lkerr.New(lkerr.InvalidInput, "core.NewModel", "RG distribution is empty")
 	}
 	for _, v := range m.vars {
 		m.mu += v.weight * v.mu
@@ -182,8 +195,14 @@ func NewModel(lib *charlib.Library, proc *spatial.Process, spec DesignSpec, mode
 	if m.variance < 0 {
 		m.variance = 0
 	}
+	if err := lkerr.CheckFinite("core.NewModel", "per-gate mean µ_XI", m.mu); err != nil {
+		return nil, err
+	}
+	if err := lkerr.CheckFinite("core.NewModel", "per-gate variance σ²_XI", m.variance); err != nil {
+		return nil, err
+	}
 	if !mode.usesSimplifiedCorr() {
-		if err := m.buildFSpline(); err != nil {
+		if err := m.buildFSpline(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -192,11 +211,14 @@ func NewModel(lib *charlib.Library, proc *spatial.Process, spec DesignSpec, mode
 
 // buildFSpline tabulates F(ρ_L) = Σ_v Σ_u w_v w_u Cov(X_v, X_u | ρ_L) over
 // a ρ grid (Eq. 10 over the variant space).
-func (m *Model) buildFSpline() error {
+func (m *Model) buildFSpline(ctx context.Context) error {
 	mu, sigma := m.Proc.LNominal, m.Proc.TotalSigma()
 	rhos := quad.Linspace(0, 1, covGridPoints)
 	fs := make([]float64, len(rhos))
 	for k, rho := range rhos {
+		if err := lkerr.FromContext(ctx, "core.NewModel"); err != nil {
+			return err
+		}
 		total := 0.0
 		for i := range m.vars {
 			vi := &m.vars[i]

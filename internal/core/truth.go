@@ -1,9 +1,11 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math"
 
+	"leakest/internal/fault"
+	"leakest/internal/lkerr"
 	"leakest/internal/netlist"
 	"leakest/internal/placement"
 	"leakest/internal/quad"
@@ -16,12 +18,20 @@ import (
 // covariances follow the model's mode (exact f_{m,n} mapping or the
 // simplified ρ_leak = ρ_L assumption).
 func TrueStats(m *Model, nl *netlist.Netlist, pl *placement.Placement) (Result, error) {
+	return TrueStatsCtx(context.Background(), m, nl, pl)
+}
+
+// TrueStatsCtx is TrueStats with cancellation: the O(n²) pair loop checks
+// ctx once per outer row, so a cancel lands within one row's work.
+func TrueStatsCtx(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placement.Placement) (Result, error) {
+	const op = "core.TrueStats"
 	n := len(nl.Gates)
 	if n == 0 {
-		return Result{}, fmt.Errorf("core: empty netlist")
+		return Result{}, lkerr.New(lkerr.InvalidInput, op, "empty netlist")
 	}
 	if len(pl.Site) != n {
-		return Result{}, fmt.Errorf("core: placement covers %d gates, netlist has %d", len(pl.Site), n)
+		return Result{}, lkerr.New(lkerr.InvalidInput, op,
+			"placement covers %d gates, netlist has %d", len(pl.Site), n)
 	}
 
 	// Index the gate types and pre-build the pairwise covariance splines.
@@ -35,6 +45,9 @@ func TrueStats(m *Model, nl *netlist.Netlist, pl *placement.Placement) (Result, 
 		pairSpl[i] = make([]*quad.Spline, len(types))
 	}
 	for i, a := range types {
+		if err := lkerr.FromContext(ctx, op); err != nil {
+			return Result{}, err
+		}
 		for j := i; j < len(types); j++ {
 			b := types[j]
 			// Warm the model cache, then grab the spline directly.
@@ -70,6 +83,10 @@ func TrueStats(m *Model, nl *netlist.Netlist, pl *placement.Placement) (Result, 
 
 	// Pairwise covariances (Eq. 15's off-diagonal part).
 	for a := 0; a < n; a++ {
+		if err := lkerr.FromContext(ctx, op); err != nil {
+			return Result{}, err
+		}
+		fault.Hit(fault.SiteTruthRow)
 		xa, ya, ta := xs[a], ys[a], gt[a]
 		row := pairSpl[ta]
 		for b := a + 1; b < n; b++ {
@@ -87,11 +104,12 @@ func TrueStats(m *Model, nl *netlist.Netlist, pl *placement.Placement) (Result, 
 			}
 		}
 	}
+	variance = fault.Corrupt(fault.SiteTruthRow, variance)
 	return Result{
 		Mean:   mean,
 		Std:    math.Sqrt(variance),
 		Method: "true-n2",
-	}, nil
+	}.checkFinite(op)
 }
 
 // ExtractSpec derives the high-level design characteristics (Fig. 1) from a

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNoop(t *testing.T) {
+	Reset()
+	Hit("some/site") // must not panic
+	if v := Corrupt("some/site", 42); v != 42 {
+		t.Errorf("Corrupt changed an unarmed value: %g", v)
+	}
+	if Hits("some/site") != 0 {
+		t.Errorf("unarmed site has hits")
+	}
+}
+
+func TestNaNCorruption(t *testing.T) {
+	defer Reset()
+	Arm(SiteChipMCTrial, Action{Kind: NaN})
+	if v := Corrupt(SiteChipMCTrial, 1.0); !math.IsNaN(v) {
+		t.Errorf("armed NaN site returned %g", v)
+	}
+	// Other sites unaffected.
+	if v := Corrupt(SiteTruthRow, 2.0); v != 2.0 {
+		t.Errorf("unrelated site corrupted: %g", v)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	defer Reset()
+	Arm(SiteCholesky, Action{Kind: Panic})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("armed Panic site did not panic")
+		}
+	}()
+	Hit(SiteCholesky)
+}
+
+func TestAfterDelaysFiring(t *testing.T) {
+	defer Reset()
+	Arm(SiteTruthRow, Action{Kind: NaN, After: 3})
+	for i := 0; i < 3; i++ {
+		if v := Corrupt(SiteTruthRow, 1); math.IsNaN(v) {
+			t.Fatalf("fired on hit %d, want after 3", i+1)
+		}
+	}
+	if v := Corrupt(SiteTruthRow, 1); !math.IsNaN(v) {
+		t.Errorf("did not fire on hit 4")
+	}
+	if h := Hits(SiteTruthRow); h != 4 {
+		t.Errorf("Hits = %d, want 4", h)
+	}
+}
+
+func TestSleepKind(t *testing.T) {
+	defer Reset()
+	Arm(SiteCharState, Action{Kind: Sleep, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	Hit(SiteCharState)
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Errorf("sleep fault too short: %v", d)
+	}
+}
+
+func TestConcurrentHitsAreRaceFree(t *testing.T) {
+	defer Reset()
+	Arm(SiteChipMCTrial, Action{Kind: NaN, After: 1 << 30})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				Hit(SiteChipMCTrial)
+				Corrupt(SiteChipMCTrial, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h := Hits(SiteChipMCTrial); h != 16000 {
+		t.Errorf("Hits = %d, want 16000", h)
+	}
+}

@@ -20,12 +20,15 @@
 package gridmodel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"leakest/internal/charlib"
+	"leakest/internal/fault"
 	"leakest/internal/linalg"
+	"leakest/internal/lkerr"
 	"leakest/internal/netlist"
 	"leakest/internal/placement"
 	"leakest/internal/spatial"
@@ -234,7 +237,14 @@ func (m *Model) Moments(nl *netlist.Netlist, pl *placement.Placement, signalProb
 	if variance < 0 {
 		variance = 0
 	}
-	return mean, math.Sqrt(variance), nil
+	std = math.Sqrt(variance)
+	if err := lkerr.CheckFinite("gridmodel.Moments", "mean", mean); err != nil {
+		return 0, 0, err
+	}
+	if err := lkerr.CheckFinite("gridmodel.Moments", "std", std); err != nil {
+		return 0, 0, err
+	}
+	return mean, std, nil
 }
 
 // DistResult summarizes a factor-space Monte Carlo.
@@ -252,6 +262,12 @@ type DistResult struct {
 // region's L, and states are sampled from the signal probability. The cost
 // per trial is O(n + R·k) — no n×n factorization.
 func (m *Model) SampleDistribution(nl *netlist.Netlist, pl *placement.Placement, signalProb float64, samples int, seed int64) (DistResult, error) {
+	return m.SampleDistributionCtx(context.Background(), nl, pl, signalProb, samples, seed)
+}
+
+// SampleDistributionCtx is SampleDistribution with cancellation: ctx is
+// checked once per factor-space trial.
+func (m *Model) SampleDistributionCtx(ctx context.Context, nl *netlist.Netlist, pl *placement.Placement, signalProb float64, samples int, seed int64) (DistResult, error) {
 	n := len(nl.Gates)
 	if n == 0 {
 		return DistResult{}, fmt.Errorf("gridmodel: empty netlist")
@@ -309,6 +325,10 @@ func (m *Model) SampleDistribution(nl *netlist.Netlist, pl *placement.Placement,
 	mu := m.cfg.Proc.LNominal
 	lMin := 0.3 * mu // clamp against deep-tail extrapolation
 	for trial := 0; trial < samples; trial++ {
+		if err := lkerr.FromContext(ctx, "gridmodel.SampleDistribution"); err != nil {
+			return DistResult{}, err
+		}
+		fault.Hit(fault.SiteGridTrial)
 		for i := range z {
 			z[i] = rng.NormFloat64()
 		}
@@ -337,15 +357,23 @@ func (m *Model) SampleDistribution(nl *netlist.Netlist, pl *placement.Placement,
 			}
 			total += st.Leakage(ls[gi.region])
 		}
+		total = fault.Corrupt(fault.SiteGridTrial, total)
 		totals[trial] = total
 		run.Push(total)
 	}
-	return DistResult{
+	res := DistResult{
 		Mean:    run.Mean(),
 		Std:     run.StdDev(),
 		Q05:     stats.Quantile(totals, 0.05),
 		Q95:     stats.Quantile(totals, 0.95),
 		Samples: samples,
 		Factors: m.k,
-	}, nil
+	}
+	if err := lkerr.CheckFinite("gridmodel.SampleDistribution", "mean", res.Mean); err != nil {
+		return DistResult{}, err
+	}
+	if err := lkerr.CheckFinite("gridmodel.SampleDistribution", "std", res.Std); err != nil {
+		return DistResult{}, err
+	}
+	return res, nil
 }

@@ -1,0 +1,56 @@
+package gridmodel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"leakest/internal/fault"
+	"leakest/internal/lkerr"
+)
+
+func TestSampleDistributionCanceled(t *testing.T) {
+	cfg, nl, pl := setup(t, 16)
+	m, err := New(cfg, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.SampleDistributionCtx(ctx, nl, pl, 0.5, 100, 1); !errors.Is(err, lkerr.ErrCanceled) {
+		t.Errorf("pre-canceled ctx: got %v, want Canceled", err)
+	}
+}
+
+func TestSampleDistributionDeadlineMidLoop(t *testing.T) {
+	defer fault.Reset()
+	cfg, nl, pl := setup(t, 16)
+	m, err := New(cfg, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Arm(fault.SiteGridTrial, fault.Action{Kind: fault.Sleep, Delay: 2 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	const samples = 2000
+	if _, err := m.SampleDistributionCtx(ctx, nl, pl, 0.5, samples, 1); !errors.Is(err, lkerr.ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if hits := fault.Hits(fault.SiteGridTrial); hits >= samples {
+		t.Errorf("sampler ran all %d trials despite deadline", hits)
+	}
+}
+
+func TestSampleDistributionFaultNaN(t *testing.T) {
+	defer fault.Reset()
+	cfg, nl, pl := setup(t, 16)
+	m, err := New(cfg, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Arm(fault.SiteGridTrial, fault.Action{Kind: fault.NaN})
+	if _, err := m.SampleDistribution(nl, pl, 0.5, 50, 1); !errors.Is(err, lkerr.ErrNumerical) {
+		t.Errorf("NaN fault surfaced as %v, want Numerical", err)
+	}
+}

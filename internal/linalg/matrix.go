@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"leakest/internal/fault"
+	"leakest/internal/lkerr"
 )
 
 // Matrix is a dense, row-major matrix of float64.
@@ -195,8 +198,11 @@ var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
 
 // Cholesky computes the lower-triangular factor L of a symmetric positive
 // definite matrix a such that a = L·Lᵀ. Only the lower triangle of a is read.
-// It returns ErrNotPositiveDefinite if a pivot is non-positive.
+// It returns ErrNotPositiveDefinite if a pivot is non-positive, and a typed
+// Numerical error if the finished factor contains NaN or Inf (e.g. from a
+// corrupted input off the pivot path).
 func Cholesky(a *Matrix) (*Matrix, error) {
+	fault.Hit(fault.SiteCholesky)
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.rows, a.cols)
 	}
@@ -207,6 +213,9 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 		lj := l.Row(j)
 		for k := 0; k < j; k++ {
 			d -= lj[k] * lj[k]
+		}
+		if j == 0 {
+			d = fault.Corrupt(fault.SiteCholesky, d)
 		}
 		if d <= 0 || math.IsNaN(d) {
 			return nil, fmt.Errorf("%w (pivot %d: %g)", ErrNotPositiveDefinite, j, d)
@@ -222,7 +231,22 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 			l.Set(i, j, s/dj)
 		}
 	}
+	if err := l.CheckFinite("linalg.Cholesky"); err != nil {
+		return nil, err
+	}
 	return l, nil
+}
+
+// CheckFinite returns a typed Numerical error naming the first NaN or ±Inf
+// element of the matrix, or nil if every element is finite.
+func (m *Matrix) CheckFinite(op string) error {
+	for idx, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return lkerr.New(lkerr.Numerical, op, "element (%d,%d) is %g",
+				idx/m.cols, idx%m.cols, v)
+		}
+	}
+	return nil
 }
 
 // CholeskyJittered behaves like Cholesky but, if factorization fails, retries

@@ -1,0 +1,208 @@
+// Package lkerr defines the typed error taxonomy of the leakage estimator.
+// Every failure that can escape a public entry point is classified by a
+// Code, wrapped in an *Error that records the faulting site (the "op"), and
+// plays well with errors.Is / errors.As. Context cancellation maps onto the
+// Canceled and DeadlineExceeded codes so that errors.Is(err,
+// context.Canceled) keeps working for callers that prefer the standard
+// sentinels.
+package lkerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Code classifies a failure.
+type Code int
+
+const (
+	// InvalidInput marks a caller error: out-of-range parameters, empty
+	// histograms, inconsistent netlist/placement pairs.
+	InvalidInput Code = iota + 1
+	// Numerical marks an internal numeric failure: NaN/Inf produced by a
+	// kernel, a non-positive-definite covariance, a recovered panic.
+	Numerical
+	// Canceled means the caller's context was canceled mid-computation.
+	Canceled
+	// DeadlineExceeded means the caller's deadline (or an EstimateBudget
+	// timeout) expired mid-computation.
+	DeadlineExceeded
+	// BudgetExceeded means a size budget (gate count, pair count) ruled the
+	// requested computation out before it started.
+	BudgetExceeded
+	// Degraded marks an outcome obtained by falling back to a cheaper
+	// estimator after a budget ruled out the requested one. It is normally
+	// recorded on the Result, not returned as an error; the code exists so a
+	// degradation ladder that exhausts every rung can still report what it
+	// attempted.
+	Degraded
+)
+
+// String implements fmt.Stringer.
+func (c Code) String() string {
+	switch c {
+	case InvalidInput:
+		return "invalid-input"
+	case Numerical:
+		return "numerical"
+	case Canceled:
+		return "canceled"
+	case DeadlineExceeded:
+		return "deadline-exceeded"
+	case BudgetExceeded:
+		return "budget-exceeded"
+	case Degraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("code(%d)", int(c))
+	}
+}
+
+// Error is a classified failure with the faulting site attached.
+type Error struct {
+	// Code classifies the failure.
+	Code Code
+	// Op names the faulting site, e.g. "chipmc.Run" or "linalg.Cholesky".
+	Op string
+	// Msg is the human-readable description.
+	Msg string
+	// Err is the wrapped cause, if any.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	s := e.Code.String()
+	if e.Op != "" {
+		s = e.Op + ": " + s
+	}
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap returns the wrapped cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is reports code-class equality: errors.Is(err, lkerr.ErrCanceled) matches
+// any Canceled error regardless of op and message, and the Canceled /
+// DeadlineExceeded classes additionally match the standard context
+// sentinels.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case context.Canceled:
+		return e.Code == Canceled
+	case context.DeadlineExceeded:
+		return e.Code == DeadlineExceeded
+	}
+	if t, ok := target.(*Error); ok {
+		return t.Code == e.Code && (t.Op == "" || t.Op == e.Op)
+	}
+	return false
+}
+
+// Sentinel targets for errors.Is. They carry only a code, so they match any
+// error of that class.
+var (
+	ErrInvalidInput     = &Error{Code: InvalidInput}
+	ErrNumerical        = &Error{Code: Numerical}
+	ErrCanceled         = &Error{Code: Canceled}
+	ErrDeadlineExceeded = &Error{Code: DeadlineExceeded}
+	ErrBudgetExceeded   = &Error{Code: BudgetExceeded}
+	ErrDegraded         = &Error{Code: Degraded}
+)
+
+// New builds a classified error.
+func New(code Code, op, format string, args ...any) *Error {
+	return &Error{Code: code, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap classifies an existing error, preserving it as the cause. A nil err
+// yields nil. If err is already an *Error it is returned unchanged, so
+// classification survives multi-layer wrapping without re-tagging.
+func Wrap(code Code, op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var le *Error
+	if errors.As(err, &le) {
+		return err
+	}
+	return &Error{Code: code, Op: op, Err: err}
+}
+
+// CodeOf extracts the code from an error chain; 0 means unclassified.
+// Untyped context errors classify as Canceled / DeadlineExceeded.
+func CodeOf(err error) Code {
+	var le *Error
+	if errors.As(err, &le) {
+		return le.Code
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return Canceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return DeadlineExceeded
+	}
+	return 0
+}
+
+// IsCode reports whether the error chain carries the given code.
+func IsCode(err error, c Code) bool { return CodeOf(err) == c }
+
+// FromContext converts a done context into the matching typed error; it
+// returns nil while ctx is still live. It is the periodic cancellation
+// check used inside sample and pair loops.
+func FromContext(ctx context.Context, op string) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		return nil
+	}
+	switch ctx.Err() {
+	case context.DeadlineExceeded:
+		return &Error{Code: DeadlineExceeded, Op: op, Err: context.DeadlineExceeded}
+	default:
+		return &Error{Code: Canceled, Op: op, Err: ctx.Err()}
+	}
+}
+
+// CheckFinite returns a Numerical error naming the offending quantity when
+// v is NaN or ±Inf, and nil otherwise.
+func CheckFinite(op, name string, v float64) error {
+	if math.IsNaN(v) {
+		return New(Numerical, op, "%s is NaN", name)
+	}
+	if math.IsInf(v, 0) {
+		return New(Numerical, op, "%s is %v", name, v)
+	}
+	return nil
+}
+
+// RecoverInto converts an in-flight panic into a Numerical error carrying
+// the faulting site, storing it in *errp. Use it deferred at public API
+// boundaries:
+//
+//	defer lkerr.RecoverInto(&err, "leakest.Estimate")
+//
+// Errors already present in *errp are preserved when no panic occurred.
+func RecoverInto(errp *error, op string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if pe, ok := r.(error); ok {
+		*errp = &Error{Code: Numerical, Op: op, Msg: "panic", Err: pe}
+		return
+	}
+	*errp = New(Numerical, op, "panic: %v", r)
+}

@@ -1,0 +1,155 @@
+package lkerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestErrorFormatting(t *testing.T) {
+	e := New(InvalidInput, "core.Validate", "gate count %d must be positive", -3)
+	want := "core.Validate: invalid-input: gate count -3 must be positive"
+	if e.Error() != want {
+		t.Errorf("Error() = %q, want %q", e.Error(), want)
+	}
+	cause := errors.New("boom")
+	w := Wrap(Numerical, "linalg.Cholesky", cause).(*Error)
+	if !errors.Is(w, cause) {
+		t.Errorf("wrapped cause not reachable via errors.Is")
+	}
+	if w.Unwrap() != cause {
+		t.Errorf("Unwrap lost the cause")
+	}
+}
+
+func TestIsCodeClasses(t *testing.T) {
+	cases := []struct {
+		err      error
+		code     Code
+		sentinel error
+	}{
+		{New(InvalidInput, "op", "x"), InvalidInput, ErrInvalidInput},
+		{New(Numerical, "op", "x"), Numerical, ErrNumerical},
+		{New(Canceled, "op", "x"), Canceled, ErrCanceled},
+		{New(DeadlineExceeded, "op", "x"), DeadlineExceeded, ErrDeadlineExceeded},
+		{New(BudgetExceeded, "op", "x"), BudgetExceeded, ErrBudgetExceeded},
+		{New(Degraded, "op", "x"), Degraded, ErrDegraded},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%v does not match its sentinel", c.err)
+		}
+		if CodeOf(c.err) != c.code {
+			t.Errorf("CodeOf(%v) = %v, want %v", c.err, CodeOf(c.err), c.code)
+		}
+		if !IsCode(c.err, c.code) {
+			t.Errorf("IsCode(%v, %v) = false", c.err, c.code)
+		}
+		// Wrapping through fmt keeps the classification.
+		wrapped := fmt.Errorf("outer: %w", c.err)
+		if !errors.Is(wrapped, c.sentinel) || CodeOf(wrapped) != c.code {
+			t.Errorf("classification lost through fmt wrapping of %v", c.err)
+		}
+	}
+	// Cross-class must not match.
+	if errors.Is(New(Canceled, "op", "x"), ErrNumerical) {
+		t.Errorf("Canceled matched Numerical sentinel")
+	}
+}
+
+func TestContextSentinelInterop(t *testing.T) {
+	ce := New(Canceled, "op", "stopped")
+	if !errors.Is(ce, context.Canceled) {
+		t.Errorf("Canceled error does not match context.Canceled")
+	}
+	de := New(DeadlineExceeded, "op", "late")
+	if !errors.Is(de, context.DeadlineExceeded) {
+		t.Errorf("DeadlineExceeded error does not match context.DeadlineExceeded")
+	}
+	if CodeOf(context.Canceled) != Canceled {
+		t.Errorf("raw context.Canceled not classified")
+	}
+	if CodeOf(fmt.Errorf("x: %w", context.DeadlineExceeded)) != DeadlineExceeded {
+		t.Errorf("wrapped context.DeadlineExceeded not classified")
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Background(), "op"); err != nil {
+		t.Fatalf("live context produced %v", err)
+	}
+	if err := FromContext(nil, "op"); err != nil {
+		t.Fatalf("nil context produced %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx, "loop")
+	if !IsCode(err, Canceled) {
+		t.Fatalf("canceled context gave %v", err)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	err = FromContext(dctx, "loop")
+	if !IsCode(err, DeadlineExceeded) {
+		t.Fatalf("expired context gave %v", err)
+	}
+}
+
+func TestWrapIdempotent(t *testing.T) {
+	inner := New(BudgetExceeded, "chipmc.Run", "too big")
+	out := Wrap(Numerical, "outer", fmt.Errorf("x: %w", inner))
+	if CodeOf(out) != BudgetExceeded {
+		t.Errorf("Wrap re-tagged an already classified error: %v", out)
+	}
+	if Wrap(Numerical, "op", nil) != nil {
+		t.Errorf("Wrap(nil) != nil")
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	if err := CheckFinite("op", "mean", 1.5); err != nil {
+		t.Errorf("finite value rejected: %v", err)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := CheckFinite("core.TrueStats", "variance", v)
+		if !IsCode(err, Numerical) {
+			t.Errorf("CheckFinite(%v) = %v, want Numerical", v, err)
+		}
+	}
+}
+
+func TestRecoverInto(t *testing.T) {
+	f := func() (err error) {
+		defer RecoverInto(&err, "leakest.Estimate")
+		panic("index out of range")
+	}
+	err := f()
+	if !IsCode(err, Numerical) {
+		t.Fatalf("panic mapped to %v, want Numerical", err)
+	}
+	var le *Error
+	if !errors.As(err, &le) || le.Op != "leakest.Estimate" {
+		t.Errorf("faulting site lost: %v", err)
+	}
+	// Error-valued panics keep the cause.
+	cause := errors.New("inner fault")
+	g := func() (err error) {
+		defer RecoverInto(&err, "op")
+		panic(cause)
+	}
+	if !errors.Is(g(), cause) {
+		t.Errorf("error panic cause lost")
+	}
+	// No panic: existing error preserved.
+	h := func() (err error) {
+		defer RecoverInto(&err, "op")
+		return cause
+	}
+	if h() != cause {
+		t.Errorf("RecoverInto clobbered a returned error")
+	}
+}

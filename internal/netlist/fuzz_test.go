@@ -1,0 +1,65 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBench asserts the .bench parser is total: arbitrary input must
+// either return an error or produce a structurally valid netlist — never
+// panic, hang, or yield a netlist that violates its own invariants.
+func FuzzReadBench(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n",
+		"INPUT(N1)\nINPUT(N2)\nOUTPUT(N3)\nN3 = AND(N1, N2)\n",
+		"INPUT(a)\ny = NOT(a)\nz = DFF(y)\nOUTPUT(z)\n",
+		// Malformed shapes the parser must reject gracefully.
+		"y = NAND(a, b)\n",                 // undefined fanins
+		"INPUT(a)\ny = BOGUS(a)\n",         // unknown operator
+		"INPUT(a)\ny = NAND(a)\n",          // wrong arity
+		"INPUT(a)\ny = NOT(a\n",            // unbalanced parens
+		"INPUT(a)\ny = NOT(a)\ny = NOT(a)", // duplicate definition
+		"INPUT(a)\na = NOT(a)\n",           // self-loop / input redefined
+		"x = NOT(y)\ny = NOT(x)\n",         // combinational cycle
+		"INPUT(\n",
+		"OUTPUT()\n",
+		"=\n(\n)\n,,,\n",
+		strings.Repeat("INPUT(a)\n", 100),
+		"INPUT(\x00)\nOUTPUT(\xff)\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	tm := DefaultTechMap()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nl, err := ReadBench(bytes.NewReader(data), "fuzz", tm)
+		if err != nil {
+			return
+		}
+		// On success the netlist must satisfy its structural invariants:
+		// every fanin index in range and topologically earlier, outputs in
+		// range.
+		if nl.NumPI < 0 {
+			t.Fatalf("negative NumPI %d", nl.NumPI)
+		}
+		for gi, g := range nl.Gates {
+			node := nl.NumPI + gi
+			for _, fin := range g.Fanins {
+				if fin < 0 || fin >= nl.NumPI+len(nl.Gates) {
+					t.Fatalf("gate %d fanin %d out of range", gi, fin)
+				}
+				if fin >= node {
+					t.Fatalf("gate %d not topologically sorted (fanin %d ≥ node %d)", gi, fin, node)
+				}
+			}
+		}
+		for _, o := range nl.Outputs {
+			if o < 0 || o >= nl.NumPI+len(nl.Gates) {
+				t.Fatalf("output %d out of range", o)
+			}
+		}
+	})
+}

@@ -32,11 +32,13 @@
 package leakest
 
 import (
+	"context"
 	"fmt"
 
 	"leakest/internal/cells"
 	"leakest/internal/charlib"
 	"leakest/internal/core"
+	"leakest/internal/lkerr"
 	"leakest/internal/netlist"
 	"leakest/internal/placement"
 	"leakest/internal/spatial"
@@ -141,7 +143,16 @@ func BuiltinCells() []*Cell { return cells.Library() }
 // Characterize runs leakage characterization of transistor-level cells
 // under cfg, producing a Library usable by NewEstimator.
 func Characterize(cellList []*Cell, cfg CharConfig) (*Library, error) {
-	return charlib.Characterize(cellList, cfg)
+	return CharacterizeContext(context.Background(), cellList, cfg)
+}
+
+// CharacterizeContext is Characterize with cancellation: ctx is checked
+// before every (cell, state) characterization and periodically inside each
+// Monte-Carlo loop, so a cancel or deadline stops the work within one check
+// interval and returns a typed Canceled / DeadlineExceeded error.
+func CharacterizeContext(ctx context.Context, cellList []*Cell, cfg CharConfig) (lib *Library, err error) {
+	defer lkerr.RecoverInto(&err, "leakest.Characterize")
+	return charlib.CharacterizeContext(ctx, cellList, cfg)
 }
 
 // DefaultLibrary characterizes (once per process, cached) the built-in
@@ -202,21 +213,33 @@ func (e *Estimator) model(design Design) (*core.Model, error) {
 // Estimate returns the full-chip leakage statistics of a design described
 // by its high-level characteristics (early-mode estimation).
 func (e *Estimator) Estimate(design Design, method Method) (Result, error) {
-	m, err := e.model(design)
+	return e.EstimateContext(context.Background(), design, method)
+}
+
+// EstimateContext is Estimate with cancellation. The design is validated at
+// entry (typed InvalidInput errors), ctx is checked periodically inside the
+// model-construction and linear-method loops, and panics escaping the
+// numeric kernels are converted to typed Numerical errors.
+func (e *Estimator) EstimateContext(ctx context.Context, design Design, method Method) (res Result, err error) {
+	defer lkerr.RecoverInto(&err, "leakest.Estimate")
+	if err := design.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := e.dispatch(m, method)
+	res, err = e.dispatch(ctx, m, method)
 	if err != nil {
 		return Result{}, err
 	}
 	return e.finish(res), nil
 }
 
-func (e *Estimator) dispatch(m *core.Model, method Method) (Result, error) {
+func (e *Estimator) dispatch(ctx context.Context, m *core.Model, method Method) (Result, error) {
 	switch method {
 	case Linear:
-		return m.EstimateLinear()
+		return m.EstimateLinearCtx(ctx)
 	case Integral2D:
 		return m.EstimateIntegral2D()
 	case Polar:
@@ -225,14 +248,15 @@ func (e *Estimator) dispatch(m *core.Model, method Method) (Result, error) {
 		return m.EstimateNaive()
 	case Auto:
 		if m.Spec.N <= autoThreshold {
-			return m.EstimateLinear()
+			return m.EstimateLinearCtx(ctx)
 		}
 		if res, err := m.EstimatePolar(); err == nil {
 			return res, nil
 		}
 		return m.EstimateIntegral2D()
 	default:
-		return Result{}, fmt.Errorf("leakest: unknown method %d", int(method))
+		return Result{}, lkerr.New(lkerr.InvalidInput, "leakest.Estimate",
+			"unknown method %d", int(method))
 	}
 }
 
@@ -274,15 +298,23 @@ func (e *Estimator) EstimateNetlist(nl *Netlist, pl *Placement, signalProb float
 // specific placed design — the expensive late-mode baseline the estimators
 // are validated against.
 func (e *Estimator) TrueLeakage(nl *Netlist, pl *Placement, signalProb float64) (Result, error) {
+	return e.TrueLeakageContext(context.Background(), nl, pl, signalProb)
+}
+
+// TrueLeakageContext is TrueLeakage with cancellation: the O(n²) pair loop
+// checks ctx once per row, so a cancel stops the computation within one
+// row's work and returns a typed Canceled / DeadlineExceeded error.
+func (e *Estimator) TrueLeakageContext(ctx context.Context, nl *Netlist, pl *Placement, signalProb float64) (res Result, err error) {
+	defer lkerr.RecoverInto(&err, "leakest.TrueLeakage")
 	design, err := e.ExtractDesign(nl, pl, signalProb)
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := e.model(design)
+	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := core.TrueStats(m, nl, pl)
+	res, err = core.TrueStatsCtx(ctx, m, nl, pl)
 	if err != nil {
 		return Result{}, err
 	}
