@@ -24,5 +24,9 @@ check: vet race
 fuzz:
 	$(GO) test -fuzz=FuzzReadBench -fuzztime=30s ./internal/netlist/
 
+# bench runs every paper benchmark once and leaves a machine-readable
+# record in BENCH_leakest.json (name, ns/op, B/op, allocs/op, gate count)
+# via cmd/benchjson. A failed `go test` yields no benchmark lines, which
+# benchjson turns back into a non-zero exit.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_leakest.json

@@ -9,6 +9,7 @@ import (
 
 	"leakest/internal/core"
 	"leakest/internal/lkerr"
+	"leakest/internal/telemetry"
 )
 
 // EstimateBudget bounds the work one estimation may spend. The paper's
@@ -18,7 +19,11 @@ import (
 // failing; the Result records the chosen method and the degradation reason.
 //
 // The degradation ladder is O(n²) true leakage → O(n) linear → O(1)
-// integral (polar when applicable, 2-D rectangular otherwise).
+// integral (polar when applicable, 2-D rectangular otherwise). Every fall
+// down the ladder is also reported through the telemetry layer: a
+// degradations_total{reason=...} counter increment and a warning log, so a
+// degraded run is visible on /metrics and in the structured log, not only
+// to callers that inspect the Result.
 type EstimateBudget struct {
 	// MaxGates bounds methods whose cost grows with the gate count — the
 	// O(n²) pairwise sum and the O(n) linear method. 0 means no limit.
@@ -34,24 +39,33 @@ type EstimateBudget struct {
 // pairs returns the O(n²) pair count of n gates.
 func pairs(n int) int64 { return int64(n) * int64(n-1) / 2 }
 
+// Degradation reason classes, the label values of degradations_total.
+const (
+	reasonMaxPairs = "max-pairs"
+	reasonMaxGates = "max-gates"
+	reasonTimeout  = "timeout"
+	reasonBudget   = "budget"
+	reasonOther    = "other"
+)
+
 // allowsTruth reports whether the O(n²) rung fits the static budget; the
-// reason names what tripped.
-func (b EstimateBudget) allowsTruth(n int) (bool, string) {
+// reason names what tripped, kind classifies it for the metrics label.
+func (b EstimateBudget) allowsTruth(n int) (ok bool, kind, why string) {
 	if b.MaxPairs > 0 && pairs(n) > b.MaxPairs {
-		return false, fmtReason("o(n²) skipped: %d pairs > MaxPairs=%d", pairs(n), b.MaxPairs)
+		return false, reasonMaxPairs, fmtReason("o(n²) skipped: %d pairs > MaxPairs=%d", pairs(n), b.MaxPairs)
 	}
 	if b.MaxGates > 0 && n > b.MaxGates {
-		return false, fmtReason("o(n²) skipped: %d gates > MaxGates=%d", n, b.MaxGates)
+		return false, reasonMaxGates, fmtReason("o(n²) skipped: %d gates > MaxGates=%d", n, b.MaxGates)
 	}
-	return true, ""
+	return true, "", ""
 }
 
 // allowsLinear reports whether the O(n) rung fits the static budget.
-func (b EstimateBudget) allowsLinear(n int) (bool, string) {
+func (b EstimateBudget) allowsLinear(n int) (ok bool, kind, why string) {
 	if b.MaxGates > 0 && n > b.MaxGates {
-		return false, fmtReason("o(n) skipped: %d gates > MaxGates=%d", n, b.MaxGates)
+		return false, reasonMaxGates, fmtReason("o(n) skipped: %d gates > MaxGates=%d", n, b.MaxGates)
 	}
-	return true, ""
+	return true, "", ""
 }
 
 func fmtReason(format string, args ...any) string {
@@ -81,61 +95,84 @@ func degradable(ctx context.Context, err error) bool {
 	return errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrBudgetExceeded)
 }
 
-// markDegraded flags a result obtained below the requested rung.
+// noteDegradation records one fall down the ladder in the telemetry layer:
+// degradations_total{reason=<kind>} plus a structured warning naming the
+// skipped rung. No-op cost when telemetry is disabled.
+func noteDegradation(rung, kind, why string) {
+	if telemetry.MetricsOn() {
+		telemetry.Inc(telemetry.Label("degradations_total", "reason", kind))
+	}
+	telemetry.Warn("estimation degraded", "rung", rung, "reason", kind, "detail", why)
+}
+
+// markDegraded flags a result obtained below the requested rung and logs
+// the method that finally ran.
 func markDegraded(res Result, reasons []string) Result {
 	if len(reasons) == 0 {
 		return res
 	}
 	res.Degraded = true
 	res.DegradeReason = strings.Join(reasons, "; ")
+	telemetry.Warn("degraded result", "method", res.Method, "reason", res.DegradeReason)
 	return res
 }
 
 // EstimateBudgeted estimates a design's statistics under a budget,
 // degrading O(n) → O(1) when the linear method is ruled out (early-mode
 // estimation has no O(n²) rung). The Result is flagged Degraded when a
-// cheaper method than the best available one was used.
+// cheaper method than the best available one was used, and every
+// degradation is counted in degradations_total{reason=...}.
 func (e *Estimator) EstimateBudgeted(ctx context.Context, design Design, budget EstimateBudget) (res Result, err error) {
 	defer lkerr.RecoverInto(&err, "leakest.EstimateBudgeted")
 	if err := design.Validate(); err != nil {
 		return Result{}, err
 	}
+	ctx, tr := telemetry.EnsureTrace(ctx)
 	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
 	if err != nil {
 		return Result{}, err
 	}
 	var reasons []string
 
-	if ok, why := budget.allowsLinear(design.N); !ok {
+	if ok, kind, why := budget.allowsLinear(design.N); !ok {
+		noteDegradation("o(n)", kind, why)
 		reasons = append(reasons, why)
 	} else {
 		rctx, cancel := budget.rungCtx(ctx)
 		res, err = m.EstimateLinearCtx(rctx)
 		cancel()
 		if err == nil {
-			return e.finish(markDegraded(res, nil)), nil
+			res = e.finish(markDegraded(res, nil))
+			res.Timings = tr.Stages()
+			return res, nil
 		}
 		if !degradable(ctx, err) {
 			return Result{}, err
 		}
+		noteDegradation("o(n)", reasonKindOf(err), err.Error())
 		reasons = append(reasons, "o(n) "+reasonOf(err))
 	}
 
-	res, err = e.constantTime(m)
+	res, err = e.constantTime(ctx, m)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.finish(markDegraded(res, reasons)), nil
+	res = e.finish(markDegraded(res, reasons))
+	res.Timings = tr.Stages()
+	return res, nil
 }
 
 // TrueLeakageBudgeted computes a placed design's statistics starting from
 // the O(n²) true-leakage baseline and degrading down the ladder — O(n²) →
 // O(n) → O(1) — whenever a rung trips the budget. The Result records the
 // method that finally ran; Degraded and DegradeReason report what was
-// skipped and why.
+// skipped and why, and each fall increments degradations_total{reason=...}.
 func (e *Estimator) TrueLeakageBudgeted(ctx context.Context, nl *Netlist, pl *Placement, signalProb float64, budget EstimateBudget) (res Result, err error) {
 	defer lkerr.RecoverInto(&err, "leakest.TrueLeakageBudgeted")
+	ctx, tr := telemetry.EnsureTrace(ctx)
+	endExtract := telemetry.StartSpan(ctx, "core.extract")
 	design, err := e.ExtractDesign(nl, pl, signalProb)
+	endExtract()
 	if err != nil {
 		return Result{}, err
 	}
@@ -146,52 +183,62 @@ func (e *Estimator) TrueLeakageBudgeted(ctx context.Context, nl *Netlist, pl *Pl
 	var reasons []string
 
 	// Rung 1: the O(n²) pairwise sum.
-	if ok, why := budget.allowsTruth(design.N); !ok {
+	if ok, kind, why := budget.allowsTruth(design.N); !ok {
+		noteDegradation("o(n²)", kind, why)
 		reasons = append(reasons, why)
 	} else {
 		rctx, cancel := budget.rungCtx(ctx)
 		res, err = core.TrueStatsCtx(rctx, m, nl, pl)
 		cancel()
 		if err == nil {
-			return e.finish(markDegraded(res, nil)), nil
+			res = e.finish(markDegraded(res, nil))
+			res.Timings = tr.Stages()
+			return res, nil
 		}
 		if !degradable(ctx, err) {
 			return Result{}, err
 		}
+		noteDegradation("o(n²)", reasonKindOf(err), err.Error())
 		reasons = append(reasons, "o(n²) "+reasonOf(err))
 	}
 
 	// Rung 2: the exact O(n) linear method.
-	if ok, why := budget.allowsLinear(design.N); !ok {
+	if ok, kind, why := budget.allowsLinear(design.N); !ok {
+		noteDegradation("o(n)", kind, why)
 		reasons = append(reasons, why)
 	} else {
 		rctx, cancel := budget.rungCtx(ctx)
 		res, err = m.EstimateLinearCtx(rctx)
 		cancel()
 		if err == nil {
-			return e.finish(markDegraded(res, reasons)), nil
+			res = e.finish(markDegraded(res, reasons))
+			res.Timings = tr.Stages()
+			return res, nil
 		}
 		if !degradable(ctx, err) {
 			return Result{}, err
 		}
+		noteDegradation("o(n)", reasonKindOf(err), err.Error())
 		reasons = append(reasons, "o(n) "+reasonOf(err))
 	}
 
 	// Rung 3: the constant-time integrals — always within budget.
-	res, err = e.constantTime(m)
+	res, err = e.constantTime(ctx, m)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.finish(markDegraded(res, reasons)), nil
+	res = e.finish(markDegraded(res, reasons))
+	res.Timings = tr.Stages()
+	return res, nil
 }
 
 // constantTime runs the O(1) rung: the polar integral when the correlation
 // range permits it, the 2-D rectangular integral otherwise.
-func (e *Estimator) constantTime(m *core.Model) (Result, error) {
-	if res, err := m.EstimatePolar(); err == nil {
+func (e *Estimator) constantTime(ctx context.Context, m *core.Model) (Result, error) {
+	if res, err := m.EstimatePolarCtx(ctx); err == nil {
 		return res, nil
 	}
-	return m.EstimateIntegral2D()
+	return m.EstimateIntegral2DCtx(ctx)
 }
 
 // reasonOf renders a degradation cause for DegradeReason.
@@ -203,5 +250,17 @@ func reasonOf(err error) string {
 		return "over budget: " + err.Error()
 	default:
 		return err.Error()
+	}
+}
+
+// reasonKindOf classifies a degradation cause for the metrics label.
+func reasonKindOf(err error) string {
+	switch {
+	case errors.Is(err, ErrDeadlineExceeded):
+		return reasonTimeout
+	case errors.Is(err, ErrBudgetExceeded):
+		return reasonBudget
+	default:
+		return reasonOther
 	}
 }

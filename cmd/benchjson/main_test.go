@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	line := "BenchmarkEstimateLinear-8   \t       1\t  12345678 ns/op\t  4096 B/op\t     12 allocs/op\t  0.44 avg-mean-err-%"
+	b, ok := parseLine(line)
+	if !ok {
+		t.Fatalf("line not recognized")
+	}
+	if b.Name != "EstimateLinear" || b.Iterations != 1 {
+		t.Errorf("name/iters = %q/%d", b.Name, b.Iterations)
+	}
+	if b.NsPerOp != 12345678 || b.BytesPerOp != 4096 || b.AllocsOp != 12 {
+		t.Errorf("parsed values = %+v", b)
+	}
+	if b.Gates != 1000000 {
+		t.Errorf("gates = %d, want the EstimateLinear design size", b.Gates)
+	}
+	if b.Metrics["avg-mean-err-%"] != 0.44 {
+		t.Errorf("custom metric missing: %+v", b.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarks(t *testing.T) {
+	for _, line := range []string{
+		"", "PASS", "ok  \tleakest\t33s",
+		"goos: linux", "# TYPE x counter",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseLineWithoutGateCount(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig2-4 1 31944639 ns/op")
+	if !ok || b.Gates != 0 {
+		t.Errorf("b = %+v, ok = %v; want gates omitted", b, ok)
+	}
+}

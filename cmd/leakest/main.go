@@ -15,13 +15,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"leakest"
 	"leakest/internal/cells"
@@ -32,11 +37,51 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
+// meter renders a live single-line progress display (-v) and remembers the
+// last report so an interrupted run can say how far it got.
+type meter struct {
+	verbose bool
+	last    atomic.Value // leakest.Progress
+}
+
+func (m *meter) report(p leakest.Progress) {
+	m.last.Store(p)
+	if !m.verbose {
+		return
+	}
+	if p.Final {
+		fmt.Fprintf(os.Stderr, "\r%-24s %d/%d (100.0%%) in %s            \n",
+			p.Stage, p.Done, p.Total, p.Elapsed.Round(time.Millisecond))
+		return
+	}
+	eta := "?"
+	if p.ETA >= 0 {
+		eta = p.ETA.Round(time.Second).String()
+	}
+	fmt.Fprintf(os.Stderr, "\r%-24s %d/%d (%.1f%%) eta %s      ",
+		p.Stage, p.Done, p.Total, p.Percent(), eta)
+}
+
+// partial returns the last progress report seen, if any.
+func (m *meter) partial() (leakest.Progress, bool) {
+	p, ok := m.last.Load().(leakest.Progress)
+	return p, ok
+}
+
+var prog meter
+
 // failErr renders a typed estimation error with its class so scripts can
 // tell a bad invocation from a cancel or an internal numeric failure.
 func failErr(what string, err error) {
 	switch {
 	case errors.Is(err, leakest.ErrCanceled):
+		if prog.verbose {
+			fmt.Fprintln(os.Stderr)
+		}
+		if p, ok := prog.partial(); ok && !p.Final {
+			fmt.Fprintf(os.Stderr, "leakest: interrupted during %s at %d/%d (%.1f%%, %s elapsed)\n",
+				p.Stage, p.Done, p.Total, p.Percent(), p.Elapsed.Round(time.Millisecond))
+		}
 		fail("%s: interrupted (%v)", what, err)
 	case errors.Is(err, leakest.ErrDeadlineExceeded):
 		fail("%s: timed out (%v)", what, err)
@@ -104,12 +149,35 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (e.g. 30s); 0 = none")
 	maxGates := flag.Int("max-gates", 0, "budget: degrade to cheaper estimators beyond this many gates; 0 = no limit")
 	maxPairs := flag.Int64("max-pairs", 0, "budget: skip the O(n²) truth beyond this many gate pairs; 0 = no limit")
+	listen := flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run")
+	verbose := flag.Bool("v", false, "verbose: structured pipeline log and a live progress meter on stderr")
+	jsonReport := flag.String("json-report", "", "write a JSON run report (result, stage timings, metrics) to this path; \"-\" = stdout")
 	flag.Parse()
 
 	// Ctrl-C cancels the run cleanly; -timeout bounds it. Both surface as
-	// typed Canceled / DeadlineExceeded errors from the library.
+	// typed Canceled / DeadlineExceeded errors from the library. The meter
+	// keeps the last progress report so an interrupted run prints how far
+	// it got before dying.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	prog.verbose = *verbose
+	ctx = leakest.WithProgress(ctx, prog.report)
+	if *verbose {
+		leakest.SetLogger(slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelDebug})))
+	}
+	if *jsonReport != "" {
+		leakest.EnableMetrics()
+	}
+	if *listen != "" {
+		srv := &http.Server{Addr: *listen, Handler: leakest.TelemetryHandler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "leakest: telemetry server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving /metrics, /debug/vars and /debug/pprof/ on %s\n", *listen)
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -215,6 +283,7 @@ func main() {
 		res.Mean, res.Std, 100*res.Std/res.Mean)
 	fmt.Printf("mean + 3σ:    %.4g A\n", res.Mean+3*res.Std)
 
+	var truthRes *leakest.Result
 	if *truth && nl != nil {
 		var tr leakest.Result
 		if budgeted {
@@ -231,6 +300,7 @@ func main() {
 		fmt.Printf("\ntrue O(n²):   mean %.4g A, std %.4g A\n", tr.Mean, tr.Std)
 		fmt.Printf("estimate err: mean %+.2f%%, std %+.2f%%\n",
 			100*(res.Mean-tr.Mean)/tr.Mean, 100*(res.Std-tr.Std)/tr.Std)
+		truthRes = &tr
 	}
 	if *reportPath != "" {
 		f, err := os.Create(*reportPath)
@@ -249,6 +319,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *reportPath)
 	}
+	var mcRes *leakest.MonteCarloResult
 	if *mc > 0 && nl != nil {
 		if est.ApplyVtMean {
 			fmt.Fprintln(os.Stderr, "note: Monte Carlo below excludes the Vt mean factor")
@@ -259,5 +330,51 @@ func main() {
 		}
 		fmt.Printf("\nchip MC (%d): mean %.4g A, std %.4g A, 5th–95th pct [%.4g, %.4g] A\n",
 			r.Samples, r.Mean, r.Std, r.Q05, r.Q95)
+		mcRes = &r
 	}
+	if *jsonReport != "" {
+		writeJSONReport(*jsonReport, design, res, truthRes, mcRes)
+	}
+}
+
+// runReport is the machine-readable summary written by -json-report: the
+// design, the estimate (with its per-stage timing breakdown), the optional
+// O(n²) truth and Monte-Carlo results, and a snapshot of every metric the
+// run collected.
+type runReport struct {
+	Design struct {
+		N          int     `json:"n"`
+		W          float64 `json:"w_um"`
+		H          float64 `json:"h_um"`
+		SignalProb float64 `json:"signal_prob"`
+	} `json:"design"`
+	Result     leakest.Result            `json:"result"`
+	Truth      *leakest.Result           `json:"truth,omitempty"`
+	MonteCarlo *leakest.MonteCarloResult `json:"monte_carlo,omitempty"`
+	Metrics    map[string]any            `json:"metrics"`
+}
+
+func writeJSONReport(path string, design leakest.Design, res leakest.Result, truth *leakest.Result, mc *leakest.MonteCarloResult) {
+	var rep runReport
+	rep.Design.N = design.N
+	rep.Design.W = design.W
+	rep.Design.H = design.H
+	rep.Design.SignalProb = design.SignalProb
+	rep.Result = res
+	rep.Truth = truth
+	rep.MonteCarlo = mc
+	rep.Metrics = leakest.MetricsSnapshot()
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fail("encoding json report: %v", err)
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fail("writing json report: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }

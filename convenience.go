@@ -14,6 +14,7 @@ import (
 	"leakest/internal/netlist"
 	"leakest/internal/placement"
 	"leakest/internal/stats"
+	"leakest/internal/telemetry"
 )
 
 // arityOf builds the pin-count lookup the netlist substrate needs from a
@@ -39,6 +40,7 @@ func RandomCircuit(lib *Library, seed int64, name string, n, numPI int, hist *Hi
 // AutoPlace places a netlist's gates on distinct uniformly random sites of
 // an automatically sized square grid at the default site pitch.
 func AutoPlace(nl *Netlist, seed int64) (*Placement, error) {
+	defer telemetry.TimeStage("placement.autoplace")()
 	grid, err := placement.AutoGrid(len(nl.Gates))
 	if err != nil {
 		return nil, err

@@ -27,6 +27,7 @@ import (
 	"leakest/internal/randvar"
 	"leakest/internal/spatial"
 	"leakest/internal/stats"
+	"leakest/internal/telemetry"
 )
 
 // Config controls characterization.
@@ -226,6 +227,7 @@ func Characterize(lib []*cells.Cell, cfg Config) (*Library, error) {
 // state's Monte-Carlo loop, so a cancel lands within one check interval.
 func CharacterizeContext(ctx context.Context, lib []*cells.Cell, cfg Config) (*Library, error) {
 	const op = "charlib.Characterize"
+	defer telemetry.StartSpan(ctx, "charlib.characterize")()
 	if err := cfg.setDefaults(); err != nil {
 		return nil, lkerr.Wrap(lkerr.InvalidInput, op, err)
 	}
@@ -235,6 +237,20 @@ func CharacterizeContext(ctx context.Context, lib []*cells.Cell, cfg Config) (*L
 	proc := cfg.Process
 	mu, sigma := proc.LNominal, proc.TotalSigma()
 
+	// Progress is counted in (cell, state) characterization units — the
+	// uniform quantum of work — and reported at the existing per-state
+	// cancellation checkpoint.
+	totalStates := int64(0)
+	for _, cell := range lib {
+		totalStates += int64(cell.NumStates())
+	}
+	rep := telemetry.StartProgress(ctx, "charlib.characterize", totalStates)
+	var cellsC *telemetry.Counter
+	if r := telemetry.Default(); r != nil {
+		cellsC = r.Counter("charlib_cells_characterized")
+	}
+
+	done := int64(0)
 	out := &Library{Process: proc, Cells: make([]CellChar, 0, len(lib))}
 	for _, cell := range lib {
 		cc := CellChar{
@@ -247,15 +263,19 @@ func CharacterizeContext(ctx context.Context, lib []*cells.Cell, cfg Config) (*L
 			if err := lkerr.FromContext(ctx, op); err != nil {
 				return nil, err
 			}
+			rep.Tick(done)
 			st, err := characterizeState(ctx, cell, s, mu, sigma, &cfg)
 			if err != nil {
 				return nil, lkerr.Wrap(lkerr.Numerical, op,
 					fmt.Errorf("%s state %d: %w", cell.Name, s, err))
 			}
 			cc.States = append(cc.States, st)
+			done++
 		}
+		cellsC.Inc()
 		out.Cells = append(out.Cells, cc)
 	}
+	rep.Done(totalStates)
 	if err := out.rebuild(); err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@ import (
 	"leakest/internal/randvar"
 	"leakest/internal/spatial"
 	"leakest/internal/stats"
+	"leakest/internal/telemetry"
 )
 
 // DefaultMaxGates is the default bound on the dense-Cholesky field
@@ -147,6 +148,7 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	// diagonal.
 	vd := cfg.Proc.SigmaD2D * cfg.Proc.SigmaD2D
 	vw := cfg.Proc.SigmaWID * cfg.Proc.SigmaWID
+	endAssemble := telemetry.StartSpan(ctx, "chipmc.assemble")
 	cov := linalg.NewMatrix(n, n)
 	for a := 0; a < n; a++ {
 		if err := lkerr.FromContext(ctx, op); err != nil {
@@ -163,11 +165,14 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 			cov.Set(b, a, c)
 		}
 	}
+	endAssemble()
 	mean := make([]float64, n)
 	for i := range mean {
 		mean[i] = cfg.Proc.LNominal
 	}
+	endChol := telemetry.StartSpan(ctx, "chipmc.cholesky")
 	sampler, err := randvar.NewMVNSampler(mean, cov)
+	endChol()
 	if err != nil {
 		// Factorization failures (non-PD covariance, NaN factor) are
 		// numerical; the classification survives if already typed.
@@ -179,10 +184,18 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	ls := make([]float64, n)
 	totals := make([]float64, cfg.Samples)
 	var run stats.Running
+	endTrials := telemetry.StartSpan(ctx, "chipmc.trials")
+	rep := telemetry.StartProgress(ctx, "chipmc.trials", int64(cfg.Samples))
+	var trialsC *telemetry.Counter
+	if r := telemetry.Default(); r != nil {
+		trialsC = r.Counter("chipmc_trials_total")
+	}
 	for trial := 0; trial < cfg.Samples; trial++ {
 		if err := lkerr.FromContext(ctx, op); err != nil {
 			return Result{}, err
 		}
+		rep.Tick(int64(trial))
+		trialsC.Inc()
 		fault.Hit(fault.SiteChipMCTrial)
 		sampler.Sample(rng, ls)
 		total := 0.0
@@ -207,6 +220,8 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 		totals[trial] = total
 		run.Push(total)
 	}
+	rep.Done(int64(cfg.Samples))
+	endTrials()
 	res := Result{
 		Mean:    run.Mean(),
 		Std:     run.StdDev(),

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"leakest/internal/fault"
 	"leakest/internal/lkerr"
 	"leakest/internal/quad"
+	"leakest/internal/telemetry"
 )
 
 // Result is the outcome of one estimation: the full-chip leakage mean and
@@ -27,6 +29,11 @@ type Result struct {
 	Degraded bool
 	// DegradeReason explains which budget tripped and what was skipped.
 	DegradeReason string
+	// Timings is the per-stage wall-clock breakdown of the call that
+	// produced this result (model construction, the estimator itself, and —
+	// for placed designs — extraction and the pair loop), recorded by the
+	// telemetry layer at the public entry points.
+	Timings []telemetry.StageTiming
 }
 
 // checkFinite rejects a result whose statistics carry NaN or Inf, naming
@@ -61,6 +68,23 @@ func (m *Model) modelGrid() (rows, cols int) {
 	return rows, cols
 }
 
+// timeMethod spans an estimator stage and, when metrics are enabled,
+// observes estimate_duration_seconds{method=...}. The disabled path costs
+// one context lookup plus two atomic loads per estimation, never per
+// iteration.
+func timeMethod(ctx context.Context, method, stage string) func() {
+	end := telemetry.StartSpan(ctx, stage)
+	if !telemetry.MetricsOn() {
+		return end
+	}
+	start := time.Now()
+	name := telemetry.Label("estimate_duration_seconds", "method", method)
+	return func() {
+		end()
+		telemetry.ObserveSeconds(name, time.Since(start).Seconds())
+	}
+}
+
 // EstimateLinear computes the full-chip statistics with the O(n) method of
 // §3.1 (Eq. 17): the pairwise covariance sum regrouped by distance vector
 // with multiplicity (m−|i|)(k−|j|).
@@ -69,9 +93,11 @@ func (m *Model) EstimateLinear() (Result, error) {
 }
 
 // EstimateLinearCtx is EstimateLinear with cancellation: the distance-vector
-// loop checks ctx once per grid column.
+// loop checks ctx once per grid column, where it also reports progress.
 func (m *Model) EstimateLinearCtx(ctx context.Context) (Result, error) {
+	defer timeMethod(ctx, "linear", "estimate.linear")()
 	k, cols := m.modelGrid()
+	rep := telemetry.StartProgress(ctx, "estimate.linear", int64(cols))
 	s := k * cols
 	dw := m.Spec.W / float64(cols)
 	dh := m.Spec.H / float64(k)
@@ -83,6 +109,7 @@ func (m *Model) EstimateLinearCtx(ctx context.Context) (Result, error) {
 		if err := lkerr.FromContext(ctx, "core.EstimateLinear"); err != nil {
 			return Result{}, err
 		}
+		rep.Tick(int64(i))
 		for j := 0; j <= k-1; j++ {
 			if i == 0 && j == 0 {
 				continue
@@ -102,6 +129,7 @@ func (m *Model) EstimateLinearCtx(ctx context.Context) (Result, error) {
 			off += count * mult * cov
 		}
 	}
+	rep.Done(int64(cols))
 	off = fault.Corrupt(fault.SiteLinearAccum, off)
 	n := float64(m.Spec.N)
 	note := ""
@@ -129,6 +157,13 @@ func (m *Model) EstimateLinearCtx(ctx context.Context) (Result, error) {
 // evaluated with panelled Gauss–Legendre quadrature whose resolution tracks
 // the correlation length.
 func (m *Model) EstimateIntegral2D() (Result, error) {
+	return m.EstimateIntegral2DCtx(context.Background())
+}
+
+// EstimateIntegral2DCtx is EstimateIntegral2D with stage telemetry attached
+// to ctx (the quadrature itself is constant-time and uninterruptible).
+func (m *Model) EstimateIntegral2DCtx(ctx context.Context) (Result, error) {
+	defer timeMethod(ctx, "integral-2d", "estimate.integral-2d")()
 	w, h := m.Spec.W, m.Spec.H
 	n := float64(m.Spec.N)
 	area := w * h
@@ -179,6 +214,11 @@ func (m *Model) panelCounts() (nx, ny int) {
 // The method requires the within-die correlation to vanish within
 // min(W, H); otherwise an error directs the caller to the 2-D method.
 func (m *Model) EstimatePolar() (Result, error) {
+	return m.EstimatePolarCtx(context.Background())
+}
+
+// EstimatePolarCtx is EstimatePolar with stage telemetry attached to ctx.
+func (m *Model) EstimatePolarCtx(ctx context.Context) (Result, error) {
 	w, h := m.Spec.W, m.Spec.H
 	dmax := m.Proc.WIDCorr.Range()
 	if math.IsInf(dmax, 1) {
@@ -189,6 +229,9 @@ func (m *Model) EstimatePolar() (Result, error) {
 			"polar method needs correlation range %.4g ≤ min(W,H) = %.4g; use EstimateIntegral2D",
 			dmax, math.Min(w, h))
 	}
+	// The span starts after the applicability check so a refused attempt
+	// (Auto falling through to the 2-D integral) leaves no timing entry.
+	defer timeMethod(ctx, "polar-1d", "estimate.polar-1d")()
 	floor := m.CovAtCorr(m.Proc.CorrFloor())
 	g := func(r float64) float64 { return 0.5*r*r - (w+h)*r + math.Pi/2*w*h }
 	integrand := func(r float64) float64 {
@@ -227,6 +270,12 @@ func (m *Model) EstimatePolar() (Result, error) {
 // independent, so the variance is only n·σ²_XI. It badly underestimates
 // the spread when within-die correlation is present.
 func (m *Model) EstimateNaive() (Result, error) {
+	return m.EstimateNaiveCtx(context.Background())
+}
+
+// EstimateNaiveCtx is EstimateNaive with stage telemetry attached to ctx.
+func (m *Model) EstimateNaiveCtx(ctx context.Context) (Result, error) {
+	defer timeMethod(ctx, "naive-independent", "estimate.naive")()
 	n := float64(m.Spec.N)
 	return Result{
 		Mean:   n * m.mu,

@@ -17,6 +17,7 @@ import (
 	"leakest/internal/quad"
 	"leakest/internal/spatial"
 	"leakest/internal/stats"
+	"leakest/internal/telemetry"
 )
 
 // Mode selects how cell statistics and pairwise leakage correlation are
@@ -135,6 +136,7 @@ func NewModel(lib *charlib.Library, proc *spatial.Process, spec DesignSpec, mode
 // only model-construction step whose cost grows with the variant count —
 // checks ctx at every ρ grid point.
 func NewModelCtx(ctx context.Context, lib *charlib.Library, proc *spatial.Process, spec DesignSpec, mode Mode) (*Model, error) {
+	defer telemetry.StartSpan(ctx, "core.model")()
 	if lib == nil {
 		return nil, lkerr.New(lkerr.InvalidInput, "core.NewModel", "nil characterized library")
 	}

@@ -9,6 +9,7 @@ import (
 	"leakest/internal/netlist"
 	"leakest/internal/placement"
 	"leakest/internal/quad"
+	"leakest/internal/telemetry"
 )
 
 // TrueStats computes the "true leakage" of a specific placed design: the
@@ -22,9 +23,11 @@ func TrueStats(m *Model, nl *netlist.Netlist, pl *placement.Placement) (Result, 
 }
 
 // TrueStatsCtx is TrueStats with cancellation: the O(n²) pair loop checks
-// ctx once per outer row, so a cancel lands within one row's work.
+// ctx once per outer row — where it also reports progress — so a cancel
+// lands within one row's work.
 func TrueStatsCtx(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placement.Placement) (Result, error) {
 	const op = "core.TrueStats"
+	defer telemetry.StartSpan(ctx, "core.truth")()
 	n := len(nl.Gates)
 	if n == 0 {
 		return Result{}, lkerr.New(lkerr.InvalidInput, op, "empty netlist")
@@ -82,10 +85,12 @@ func TrueStatsCtx(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placem
 	}
 
 	// Pairwise covariances (Eq. 15's off-diagonal part).
+	rep := telemetry.StartProgress(ctx, "core.truth", int64(n))
 	for a := 0; a < n; a++ {
 		if err := lkerr.FromContext(ctx, op); err != nil {
 			return Result{}, err
 		}
+		rep.Tick(int64(a))
 		fault.Hit(fault.SiteTruthRow)
 		xa, ya, ta := xs[a], ys[a], gt[a]
 		row := pairSpl[ta]
@@ -104,6 +109,8 @@ func TrueStatsCtx(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placem
 			}
 		}
 	}
+	rep.Done(int64(n))
+	telemetry.Add("truth_pairs_total", int64(n)*int64(n-1)/2)
 	variance = fault.Corrupt(fault.SiteTruthRow, variance)
 	return Result{
 		Mean:   mean,

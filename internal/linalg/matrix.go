@@ -16,6 +16,7 @@ import (
 
 	"leakest/internal/fault"
 	"leakest/internal/lkerr"
+	"leakest/internal/telemetry"
 )
 
 // Matrix is a dense, row-major matrix of float64.
@@ -202,6 +203,7 @@ var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
 // Numerical error if the finished factor contains NaN or Inf (e.g. from a
 // corrupted input off the pivot path).
 func Cholesky(a *Matrix) (*Matrix, error) {
+	defer telemetry.TimeStage("linalg.cholesky")()
 	fault.Hit(fault.SiteCholesky)
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.rows, a.cols)

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"leakest/internal/telemetry"
 )
 
 // This file provides robust extraction of a spatial correlation model from
@@ -82,6 +84,7 @@ func fitScale(build func(scale float64) CorrFunc, floor float64, samples []CorrS
 //
 // At least four samples spanning distinct distances are required.
 func FitCorrFunc(samples []CorrSample) (CorrFit, error) {
+	defer telemetry.TimeStage("spatial.fitcorr")()
 	if len(samples) < 4 {
 		return CorrFit{}, fmt.Errorf("spatial: need ≥4 correlation samples, got %d", len(samples))
 	}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-wide expvar registration: expvar.Publish
+// panics on duplicate names, and the snapshot closure reads Default() so it
+// tracks whichever registry is installed later.
+var publishOnce sync.Once
+
+// PublishExpvar exposes the default registry under the expvar name
+// "leakest_metrics" (visible at /debug/vars). Safe to call repeatedly.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("leakest_metrics", expvar.Func(func() any {
+			r := Default()
+			if r == nil {
+				return map[string]any{}
+			}
+			return r.Snapshot()
+		}))
+	})
+}
+
+// PromHandler serves the registry in the Prometheus text exposition format.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// NewMux builds the observability endpoint served behind cmd/leakest
+// -listen: Prometheus text at /metrics, the expvar JSON dump at
+// /debug/vars, and the full pprof suite under /debug/pprof/. The handlers
+// are registered on a private mux so importing net/http/pprof's
+// DefaultServeMux side effects is irrelevant.
+func NewMux(r *Registry) *http.ServeMux {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", PromHandler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

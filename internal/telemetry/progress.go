@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+)
+
+// Progress is one progress report from a long-running pipeline loop.
+type Progress struct {
+	// Stage names the reporting loop (same namespace as span stages).
+	Stage string
+	// Done and Total count loop iterations; Total may be 0 when unknown.
+	Done, Total int64
+	// Elapsed is the wall-clock time since the loop started.
+	Elapsed time.Duration
+	// ETA estimates the remaining time from the average pace so far; it is
+	// negative when no estimate is available yet.
+	ETA time.Duration
+	// Final marks the loop's completion report, which is always delivered
+	// regardless of rate limiting.
+	Final bool
+}
+
+// Percent returns completion in percent, or -1 when Total is unknown.
+func (p Progress) Percent() float64 {
+	if p.Total <= 0 {
+		return -1
+	}
+	return 100 * float64(p.Done) / float64(p.Total)
+}
+
+// ProgressFunc receives rate-limited progress reports. It is called from
+// the estimation goroutine itself — at the loops' existing cancellation
+// checkpoints — so it must be fast and must not block.
+type ProgressFunc func(Progress)
+
+// DefaultProgressInterval is the minimum delay between two non-final
+// reports to one ProgressFunc.
+const DefaultProgressInterval = 100 * time.Millisecond
+
+// progressConfig is what WithProgress stores in the context.
+type progressConfig struct {
+	fn       ProgressFunc
+	interval time.Duration
+}
+
+type progressKey struct{}
+
+// WithProgress returns a context whose instrumented loops report progress
+// to fn at most once per DefaultProgressInterval (plus a guaranteed final
+// report per loop).
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return WithProgressInterval(ctx, fn, DefaultProgressInterval)
+}
+
+// WithProgressInterval is WithProgress with an explicit rate limit; an
+// interval ≤ 0 delivers every checkpoint tick (useful in tests).
+func WithProgressInterval(ctx context.Context, fn ProgressFunc, interval time.Duration) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey{}, &progressConfig{fn: fn, interval: interval})
+}
+
+// progressFrom returns the context's progress configuration, or nil.
+func progressFrom(ctx context.Context) *progressConfig {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(progressKey{}).(*progressConfig)
+	return c
+}
+
+// Reporter delivers rate-limited progress for one loop. A nil *Reporter is
+// valid and inert, so instrumented loops tick unconditionally:
+//
+//	rep := telemetry.StartProgress(ctx, "core.truth", int64(n))
+//	for i := ...; { ...; rep.Tick(int64(i)) }
+//	rep.Done(int64(n))
+//
+// Reporter is not safe for concurrent use; each loop owns its reporter.
+type Reporter struct {
+	cfg   *progressConfig
+	stage string
+	total int64
+	start time.Time
+	next  time.Time
+}
+
+// StartProgress creates the reporter for one loop, or nil when ctx carries
+// no ProgressFunc — the fast path costs one context lookup per loop.
+func StartProgress(ctx context.Context, stage string, total int64) *Reporter {
+	cfg := progressFrom(ctx)
+	if cfg == nil {
+		return nil
+	}
+	return &Reporter{cfg: cfg, stage: stage, total: total, start: time.Now()}
+}
+
+// Tick reports done iterations, subject to the rate limit.
+func (r *Reporter) Tick(done int64) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	if now.Before(r.next) {
+		return
+	}
+	r.next = now.Add(r.cfg.interval)
+	r.emit(done, now, false)
+}
+
+// Done delivers the loop's final report; it bypasses the rate limit.
+func (r *Reporter) Done(done int64) {
+	if r == nil {
+		return
+	}
+	r.emit(done, time.Now(), true)
+}
+
+func (r *Reporter) emit(done int64, now time.Time, final bool) {
+	elapsed := now.Sub(r.start)
+	eta := time.Duration(-1)
+	if final {
+		eta = 0
+	} else if done > 0 && r.total > 0 && done <= r.total {
+		eta = time.Duration(float64(elapsed) * float64(r.total-done) / float64(done))
+	}
+	r.cfg.fn(Progress{
+		Stage:   r.stage,
+		Done:    done,
+		Total:   r.total,
+		Elapsed: elapsed,
+		ETA:     eta,
+		Final:   final,
+	})
+}

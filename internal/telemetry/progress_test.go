@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestProgressDeliversEveryTickAtZeroInterval(t *testing.T) {
+	var got []Progress
+	ctx := WithProgressInterval(context.Background(), func(p Progress) { got = append(got, p) }, 0)
+	rep := StartProgress(ctx, "s", 3)
+	rep.Tick(1)
+	rep.Tick(2)
+	rep.Done(3)
+	if len(got) != 3 {
+		t.Fatalf("got %d reports, want 3: %+v", len(got), got)
+	}
+	for i, p := range got {
+		if p.Stage != "s" || p.Total != 3 || p.Done != int64(i+1) {
+			t.Errorf("report %d = %+v", i, p)
+		}
+	}
+	if got[0].Final || got[1].Final || !got[2].Final {
+		t.Errorf("Final flags wrong: %+v", got)
+	}
+	if got[0].ETA < 0 {
+		t.Errorf("tick with done>0 has no ETA: %+v", got[0])
+	}
+	if got[2].ETA != 0 {
+		t.Errorf("final ETA = %v, want 0", got[2].ETA)
+	}
+}
+
+func TestProgressRateLimit(t *testing.T) {
+	var got []Progress
+	ctx := WithProgressInterval(context.Background(), func(p Progress) { got = append(got, p) }, time.Hour)
+	rep := StartProgress(ctx, "s", 100)
+	rep.Tick(1)   // delivered: first tick is never limited
+	rep.Tick(2)   // suppressed
+	rep.Tick(3)   // suppressed
+	rep.Done(100) // delivered: Done bypasses the limit
+	if len(got) != 2 {
+		t.Fatalf("got %d reports, want 2: %+v", len(got), got)
+	}
+	if got[0].Done != 1 || got[1].Done != 100 || !got[1].Final {
+		t.Errorf("reports = %+v", got)
+	}
+}
+
+func TestProgressNilSafety(t *testing.T) {
+	// No ProgressFunc in the context → nil reporter, inert everywhere.
+	rep := StartProgress(context.Background(), "s", 10)
+	if rep != nil {
+		t.Fatalf("expected nil reporter without a ProgressFunc")
+	}
+	rep.Tick(1)
+	rep.Done(10)
+	// Nil fn must not poison the context either.
+	if ctx := WithProgress(context.Background(), nil); progressFrom(ctx) != nil {
+		t.Errorf("nil ProgressFunc was stored")
+	}
+}
+
+func TestProgressPercent(t *testing.T) {
+	if got := (Progress{Done: 25, Total: 100}).Percent(); got != 25 {
+		t.Errorf("Percent = %g, want 25", got)
+	}
+	if got := (Progress{Done: 5}).Percent(); got != -1 {
+		t.Errorf("Percent with unknown total = %g, want -1", got)
+	}
+}
+
+func TestProgressUnknownTotalHasNoETA(t *testing.T) {
+	var got []Progress
+	ctx := WithProgressInterval(context.Background(), func(p Progress) { got = append(got, p) }, 0)
+	rep := StartProgress(ctx, "s", 0)
+	rep.Tick(4)
+	if len(got) != 1 || got[0].ETA >= 0 {
+		t.Errorf("reports = %+v, want one with negative ETA", got)
+	}
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// StageTiming is one entry of a per-run timing breakdown.
+type StageTiming struct {
+	// Stage names the pipeline stage (see DESIGN.md for the stage name
+	// reference).
+	Stage string `json:"stage"`
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration `json:"duration"`
+}
+
+// Seconds returns the duration in seconds, for report rendering.
+func (s StageTiming) Seconds() float64 { return s.Duration.Seconds() }
+
+// Trace collects the stage timings of one estimation run, in completion
+// order. It is safe for concurrent use; the pipeline itself is
+// single-goroutine, but a caller may share one Trace across parallel runs.
+type Trace struct {
+	mu     sync.Mutex
+	stages []StageTiming
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// add appends one completed stage.
+func (t *Trace) add(stage string, d time.Duration) {
+	t.mu.Lock()
+	t.stages = append(t.stages, StageTiming{Stage: stage, Duration: d})
+	t.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded timings.
+func (t *Trace) Stages() []StageTiming {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]StageTiming(nil), t.stages...)
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying t; spans started under it record
+// their stage timings into t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// EnsureTrace returns ctx with a trace attached, reusing one already
+// present. Public entry points call it so every Result can carry a timing
+// breakdown.
+func EnsureTrace(ctx context.Context) (context.Context, *Trace) {
+	if t := TraceFrom(ctx); t != nil {
+		return ctx, t
+	}
+	t := NewTrace()
+	return WithTrace(ctx, t), t
+}
+
+// noopEnd is the shared span terminator returned when every sink is off.
+var noopEnd = func() {}
+
+// StartSpan begins timing the named pipeline stage and returns the function
+// that ends it. On end, the duration is appended to the context's Trace (if
+// any) and observed into the default registry's
+// stage_duration_seconds{stage=...} histogram (if metrics are enabled).
+// With no trace and no sink the span is a nil-check no-op; spans are placed
+// at stage granularity, never inside inner loops.
+func StartSpan(ctx context.Context, stage string) func() {
+	tr := TraceFrom(ctx)
+	if tr == nil && !sinkOn.Load() && logger.Load() == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		if tr != nil {
+			tr.add(stage, d)
+		}
+		ObserveSeconds(Label("stage_duration_seconds", "stage", stage), d.Seconds())
+		Debug("stage done", "stage", stage, "duration", d)
+	}
+}
+
+// TimeStage is StartSpan for call sites that have no context (e.g. the
+// Cholesky kernel in internal/linalg): the duration goes to the default
+// registry and debug log only. It is a single atomic load when telemetry is
+// off.
+func TimeStage(stage string) func() {
+	if !sinkOn.Load() && logger.Load() == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		ObserveSeconds(Label("stage_duration_seconds", "stage", stage), d.Seconds())
+		Debug("stage done", "stage", stage, "duration", d)
+	}
+}

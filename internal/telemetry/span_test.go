@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsIntoTrace(t *testing.T) {
+	resetForTest()
+	defer resetForTest()
+	ctx, tr := EnsureTrace(context.Background())
+	end := StartSpan(ctx, "core.model")
+	time.Sleep(time.Millisecond)
+	end()
+	stages := tr.Stages()
+	if len(stages) != 1 || stages[0].Stage != "core.model" {
+		t.Fatalf("stages = %+v", stages)
+	}
+	if stages[0].Duration <= 0 {
+		t.Errorf("duration = %v, want > 0", stages[0].Duration)
+	}
+	if stages[0].Seconds() != stages[0].Duration.Seconds() {
+		t.Errorf("Seconds() disagrees with Duration")
+	}
+}
+
+func TestEnsureTraceReusesExisting(t *testing.T) {
+	ctx, tr := EnsureTrace(context.Background())
+	ctx2, tr2 := EnsureTrace(ctx)
+	if tr2 != tr {
+		t.Errorf("EnsureTrace replaced an existing trace")
+	}
+	if TraceFrom(ctx2) != tr {
+		t.Errorf("trace not reachable from derived context")
+	}
+}
+
+func TestSpanNoopWhenAllSinksOff(t *testing.T) {
+	resetForTest()
+	defer resetForTest()
+	// Without a trace, a registry or a logger the span must not allocate a
+	// closure per call — StartSpan returns the shared no-op terminator.
+	end := StartSpan(context.Background(), "x")
+	end()
+	TimeStage("x")()
+	if Default() != nil {
+		t.Errorf("disabled span registered metrics")
+	}
+}
+
+func TestSpanFeedsStageHistogram(t *testing.T) {
+	resetForTest()
+	defer resetForTest()
+	r := Enable()
+	StartSpan(context.Background(), "linalg.cholesky")()
+	TimeStage("spatial.fitcorr")()
+	name := Label("stage_duration_seconds", "stage", "linalg.cholesky")
+	if got := r.Histogram(name, nil).Count(); got != 1 {
+		t.Errorf("span histogram count = %d, want 1", got)
+	}
+	name = Label("stage_duration_seconds", "stage", "spatial.fitcorr")
+	if got := r.Histogram(name, nil).Count(); got != 1 {
+		t.Errorf("TimeStage histogram count = %d, want 1", got)
+	}
+}
+
+// The zero-overhead contract: with no trace, no registry and no logger,
+// every instrumentation hook is a nil check or a single atomic load.
+// Compare against the *Enabled variants (and an empty loop) to verify the
+// instrumented hot paths stay within noise of uninstrumented code.
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	resetForTest()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StartSpan(ctx, "bench")()
+	}
+}
+
+func BenchmarkStartSpanEnabled(b *testing.B) {
+	resetForTest()
+	Enable()
+	b.Cleanup(resetForTest)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StartSpan(ctx, "bench")()
+	}
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	resetForTest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add("bench_total", 1)
+	}
+}
+
+func BenchmarkCounterHandleTick(b *testing.B) {
+	// The hot-loop idiom: a nil handle ticked unconditionally.
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkProgressTickNil(b *testing.B) {
+	var r *Reporter
+	for i := 0; i < b.N; i++ {
+		r.Tick(int64(i))
+	}
+}
+
+func BenchmarkProgressTickRateLimited(b *testing.B) {
+	ctx := WithProgress(context.Background(), func(Progress) {})
+	r := StartProgress(ctx, "bench", int64(b.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Tick(int64(i))
+	}
+}

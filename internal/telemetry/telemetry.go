@@ -1,0 +1,126 @@
+// Package telemetry is the zero-dependency observability layer of the
+// leakage estimator: a concurrent metrics registry (atomic counters, gauges
+// and fixed-bucket histograms with Prometheus-text and expvar exposition),
+// lightweight stage spans that build a per-run timing breakdown, a
+// context-threaded progress reporter for long loops, and structured logging
+// via log/slog.
+//
+// The layer follows the same contract as internal/fault: when nothing is
+// registered — no default registry, no logger, no trace in the context —
+// every hook degrades to a single atomic load (or a nil check) and the
+// instrumented hot paths run at their uninstrumented speed. Instrumentation
+// therefore lives at stage granularity (one span per pipeline stage, one
+// progress tick per existing cancellation checkpoint), never per inner-loop
+// iteration.
+package telemetry
+
+import (
+	"log/slog"
+	"sync/atomic"
+)
+
+// def is the process-wide default registry; nil until Enable/SetDefault.
+// sinkOn mirrors "def != nil" so hot paths pay one atomic bool load.
+var (
+	def    atomic.Pointer[Registry]
+	sinkOn atomic.Bool
+)
+
+// SetDefault installs r as the process-wide metrics sink; nil disables
+// metrics collection again (the zero-overhead default).
+func SetDefault(r *Registry) {
+	def.Store(r)
+	sinkOn.Store(r != nil)
+}
+
+// Default returns the installed metrics sink, or nil when metrics are off.
+func Default() *Registry { return def.Load() }
+
+// MetricsOn reports whether a metrics sink is installed — the fast-path
+// gate instrumented code checks before building metric names.
+func MetricsOn() bool { return sinkOn.Load() }
+
+// Enable installs (once) and returns the default registry. Safe to call
+// repeatedly; concurrent first calls race benignly toward one winner.
+func Enable() *Registry {
+	if r := def.Load(); r != nil {
+		return r
+	}
+	r := NewRegistry()
+	if def.CompareAndSwap(nil, r) {
+		sinkOn.Store(true)
+	}
+	return def.Load()
+}
+
+// Inc adds 1 to the named counter on the default registry; no-op when
+// metrics are disabled.
+func Inc(name string) { Add(name, 1) }
+
+// Add adds delta to the named counter on the default registry; no-op when
+// metrics are disabled.
+func Add(name string, delta int64) {
+	if !sinkOn.Load() {
+		return
+	}
+	if r := def.Load(); r != nil {
+		r.Counter(name).Add(delta)
+	}
+}
+
+// SetGauge sets the named gauge on the default registry; no-op when metrics
+// are disabled.
+func SetGauge(name string, v float64) {
+	if !sinkOn.Load() {
+		return
+	}
+	if r := def.Load(); r != nil {
+		r.Gauge(name).Set(v)
+	}
+}
+
+// ObserveSeconds records v into the named duration histogram (default
+// duration buckets) on the default registry; no-op when metrics are
+// disabled.
+func ObserveSeconds(name string, v float64) {
+	if !sinkOn.Load() {
+		return
+	}
+	if r := def.Load(); r != nil {
+		r.Histogram(name, DurationBuckets).Observe(v)
+	}
+}
+
+// logger is the process-wide structured logger; nil (the default) disables
+// logging entirely.
+var logger atomic.Pointer[slog.Logger]
+
+// SetLogger installs the structured logger used by the estimation pipeline;
+// nil disables logging (the zero-overhead default).
+func SetLogger(l *slog.Logger) { logger.Store(l) }
+
+// Logger returns the installed logger, or nil when logging is disabled.
+func Logger() *slog.Logger { return logger.Load() }
+
+// Infof-style nil-checked logging helpers. args are slog key/value pairs.
+
+// Info logs at Info level when a logger is installed.
+func Info(msg string, args ...any) {
+	if l := logger.Load(); l != nil {
+		l.Info(msg, args...)
+	}
+}
+
+// Warn logs at Warn level when a logger is installed.
+func Warn(msg string, args ...any) {
+	if l := logger.Load(); l != nil {
+		l.Warn(msg, args...)
+	}
+}
+
+// Debug logs at Debug level when a logger is installed.
+func Debug(msg string, args ...any) {
+	if l := logger.Load(); l != nil {
+		l.Debug(msg, args...)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"leakest/internal/placement"
 	"leakest/internal/spatial"
 	"leakest/internal/stats"
+	"leakest/internal/telemetry"
 )
 
 // Re-exported model types. The implementation lives in internal packages;
@@ -216,15 +217,18 @@ func (e *Estimator) Estimate(design Design, method Method) (Result, error) {
 	return e.EstimateContext(context.Background(), design, method)
 }
 
-// EstimateContext is Estimate with cancellation. The design is validated at
-// entry (typed InvalidInput errors), ctx is checked periodically inside the
-// model-construction and linear-method loops, and panics escaping the
-// numeric kernels are converted to typed Numerical errors.
+// EstimateContext is Estimate with cancellation and telemetry. The design
+// is validated at entry (typed InvalidInput errors), ctx is checked
+// periodically inside the model-construction and linear-method loops, and
+// panics escaping the numeric kernels are converted to typed Numerical
+// errors. The returned Result carries a per-stage timing breakdown; attach
+// a ProgressFunc with WithProgress to observe long loops while they run.
 func (e *Estimator) EstimateContext(ctx context.Context, design Design, method Method) (res Result, err error) {
 	defer lkerr.RecoverInto(&err, "leakest.Estimate")
 	if err := design.Validate(); err != nil {
 		return Result{}, err
 	}
+	ctx, tr := telemetry.EnsureTrace(ctx)
 	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
 	if err != nil {
 		return Result{}, err
@@ -233,7 +237,9 @@ func (e *Estimator) EstimateContext(ctx context.Context, design Design, method M
 	if err != nil {
 		return Result{}, err
 	}
-	return e.finish(res), nil
+	res = e.finish(res)
+	res.Timings = tr.Stages()
+	return res, nil
 }
 
 func (e *Estimator) dispatch(ctx context.Context, m *core.Model, method Method) (Result, error) {
@@ -241,19 +247,19 @@ func (e *Estimator) dispatch(ctx context.Context, m *core.Model, method Method) 
 	case Linear:
 		return m.EstimateLinearCtx(ctx)
 	case Integral2D:
-		return m.EstimateIntegral2D()
+		return m.EstimateIntegral2DCtx(ctx)
 	case Polar:
-		return m.EstimatePolar()
+		return m.EstimatePolarCtx(ctx)
 	case Naive:
-		return m.EstimateNaive()
+		return m.EstimateNaiveCtx(ctx)
 	case Auto:
 		if m.Spec.N <= autoThreshold {
 			return m.EstimateLinearCtx(ctx)
 		}
-		if res, err := m.EstimatePolar(); err == nil {
+		if res, err := m.EstimatePolarCtx(ctx); err == nil {
 			return res, nil
 		}
-		return m.EstimateIntegral2D()
+		return m.EstimateIntegral2DCtx(ctx)
 	default:
 		return Result{}, lkerr.New(lkerr.InvalidInput, "leakest.Estimate",
 			"unknown method %d", int(method))
@@ -301,12 +307,17 @@ func (e *Estimator) TrueLeakage(nl *Netlist, pl *Placement, signalProb float64) 
 	return e.TrueLeakageContext(context.Background(), nl, pl, signalProb)
 }
 
-// TrueLeakageContext is TrueLeakage with cancellation: the O(n²) pair loop
-// checks ctx once per row, so a cancel stops the computation within one
-// row's work and returns a typed Canceled / DeadlineExceeded error.
+// TrueLeakageContext is TrueLeakage with cancellation and telemetry: the
+// O(n²) pair loop checks ctx once per row — reporting progress there — so a
+// cancel stops the computation within one row's work and returns a typed
+// Canceled / DeadlineExceeded error. The Result carries the
+// extraction/model/pair-loop timing breakdown.
 func (e *Estimator) TrueLeakageContext(ctx context.Context, nl *Netlist, pl *Placement, signalProb float64) (res Result, err error) {
 	defer lkerr.RecoverInto(&err, "leakest.TrueLeakage")
+	ctx, tr := telemetry.EnsureTrace(ctx)
+	endExtract := telemetry.StartSpan(ctx, "core.extract")
 	design, err := e.ExtractDesign(nl, pl, signalProb)
+	endExtract()
 	if err != nil {
 		return Result{}, err
 	}
@@ -318,7 +329,9 @@ func (e *Estimator) TrueLeakageContext(ctx context.Context, nl *Netlist, pl *Pla
 	if err != nil {
 		return Result{}, err
 	}
-	return e.finish(res), nil
+	res = e.finish(res)
+	res.Timings = tr.Stages()
+	return res, nil
 }
 
 // MaxLeakageSignalProb returns the signal probability that maximizes the
