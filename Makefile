@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race fuzz bench
+.PHONY: build test check vet race race-parallel fuzz bench
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,19 @@ check: vet race
 fuzz:
 	$(GO) test -fuzz=FuzzReadBench -fuzztime=30s ./internal/netlist/
 
+# race-parallel is a focused race-detector pass over the deterministic
+# worker pool and its four call sites (the full `race` target covers them
+# too; this one is the fast CI job for parallel-path changes).
+race-parallel:
+	$(GO) test -race ./internal/parallel/ ./internal/core/ -run 'Parallel|Sharding|ForEach|Ticker'
+	$(GO) test -race . -run 'TestDeterminism|TestParallel|TestWorkersField'
+
 # bench runs every paper benchmark once and leaves a machine-readable
-# record in BENCH_leakest.json (name, ns/op, B/op, allocs/op, gate count)
-# via cmd/benchjson. A failed `go test` yields no benchmark lines, which
-# benchjson turns back into a non-zero exit.
+# record in BENCH_leakest.json (name, ns/op, B/op, allocs/op, gate count,
+# GOMAXPROCS, worker count) via cmd/benchjson. Set LEAKEST_WORKERS=N to run
+# the single-design benchmarks at a fixed pool size (recorded in the
+# report); the results are bitwise identical either way. A failed `go test`
+# yields no benchmark lines, which benchjson turns back into a non-zero
+# exit.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_leakest.json

@@ -8,6 +8,9 @@ package leakest
 // textual output.
 
 import (
+	"fmt"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -17,6 +20,22 @@ import (
 	"leakest/internal/experiments"
 	"leakest/internal/stats"
 )
+
+// envWorkers reads the LEAKEST_WORKERS override so CI can run the whole
+// benchmark suite at a fixed pool size (see the Makefile bench target);
+// 0 keeps each benchmark's default.
+func envWorkers(b *testing.B) int {
+	b.Helper()
+	s := os.Getenv("LEAKEST_WORKERS")
+	if s == "" {
+		return 0
+	}
+	w, err := strconv.Atoi(s)
+	if err != nil || w < 0 {
+		b.Fatalf("bad LEAKEST_WORKERS=%q", s)
+	}
+	return w
+}
 
 func benchLib(b *testing.B) *charlib.Library {
 	b.Helper()
@@ -277,6 +296,7 @@ func BenchmarkFastTrueLeakage(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	est.Workers = envWorkers(b)
 	nl, pl, err := ISCASCircuit(lib, "c7552", 1)
 	if err != nil {
 		b.Fatal(err)
@@ -332,6 +352,7 @@ func BenchmarkEstimateLinear(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	est.Workers = envWorkers(b)
 	design := Design{Hist: benchHist(b), N: 1000000, W: 2000, H: 2000, SignalProb: 0.5}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -365,6 +386,7 @@ func BenchmarkTrueLeakage(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	est.Workers = envWorkers(b)
 	nl, pl, err := ISCASCircuit(lib, "c880", 1)
 	if err != nil {
 		b.Fatal(err)
@@ -374,6 +396,37 @@ func BenchmarkTrueLeakage(b *testing.B) {
 		if _, err := est.TrueLeakage(nl, pl, 0.5); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTrueLeakageWorkers sweeps the worker-pool size over the O(n²)
+// baseline at c7552 scale (3512 gates, ~6.2M pairs) — the speedup table of
+// EXPERIMENTS.md. Results are bitwise identical across the sweep; only
+// wall-clock may change (and only on multicore hosts).
+func BenchmarkTrueLeakageWorkers(b *testing.B) {
+	lib := benchLib(b)
+	nl, pl, err := ISCASCircuit(lib, "c7552", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		sweep = append(sweep, g)
+	}
+	for _, w := range sweep {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			est, err := NewEstimator(lib, experiments.ChipProcess())
+			if err != nil {
+				b.Fatal(err)
+			}
+			est.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.TrueLeakage(nl, pl, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -404,6 +457,7 @@ func BenchmarkFloorplan(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	est.Workers = envWorkers(b)
 	logic := benchHist(b)
 	sram, _ := stats.NewHistogram(map[string]float64{"INV_X1": 1, "NAND2_X1": 1})
 	blocks := []Block{

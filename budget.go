@@ -128,7 +128,7 @@ func (e *Estimator) EstimateBudgeted(ctx context.Context, design Design, budget 
 		return Result{}, err
 	}
 	ctx, tr := telemetry.EnsureTrace(ctx)
-	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
+	m, err := e.newModelCtx(ctx, design)
 	if err != nil {
 		return Result{}, err
 	}
@@ -176,7 +176,7 @@ func (e *Estimator) TrueLeakageBudgeted(ctx context.Context, nl *Netlist, pl *Pl
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
+	m, err := e.newModelCtx(ctx, design)
 	if err != nil {
 		return Result{}, err
 	}

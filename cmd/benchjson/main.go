@@ -26,19 +26,26 @@ var gateCounts = map[string]int{
 	"EstimateLinear":       1000000,
 	"EstimateConstantTime": 1000000,
 	"TrueLeakage":          383,  // c880
+	"TrueLeakageWorkers":   3512, // c7552
 	"FastTrueLeakage":      3512, // c7552
 	"Floorplan":            130000,
 }
 
 // Bench is one parsed benchmark result line.
 type Bench struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
-	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
-	Gates      int                `json:"gates,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	Gates      int     `json:"gates,omitempty"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the -P name
+	// suffix); Workers is the pool size of a "/workers=N" sub-benchmark.
+	// Both are kept so entries at different parallelism settings stay
+	// distinguishable in the report.
+	Procs   int                `json:"procs,omitempty"`
+	Workers int                `json:"workers,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the top-level document written to -o.
@@ -57,14 +64,32 @@ func parseLine(line string) (Bench, bool) {
 		return Bench{}, false
 	}
 	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	// Strip the -P suffix only when it is numeric: benchmark names may
+	// themselves contain dashes, which must survive.
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		name = name[:i] // strip the -GOMAXPROCS suffix
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			name, procs = name[:i], p
+		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Bench{}, false
 	}
-	b := Bench{Name: name, Iterations: iters, Gates: gateCounts[name]}
+	// Gate counts key off the base name so "/workers=N" (and other
+	// sub-benchmark) variants of a single-design benchmark keep theirs.
+	base := name
+	if i := strings.IndexByte(base, '/'); i >= 0 {
+		base = base[:i]
+	}
+	b := Bench{Name: name, Iterations: iters, Gates: gateCounts[base], Procs: procs}
+	for _, part := range strings.Split(name, "/")[1:] {
+		if w, ok := strings.CutPrefix(part, "workers="); ok {
+			if n, err := strconv.Atoi(w); err == nil {
+				b.Workers = n
+			}
+		}
+	}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {

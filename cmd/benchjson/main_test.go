@@ -17,8 +17,40 @@ func TestParseLine(t *testing.T) {
 	if b.Gates != 1000000 {
 		t.Errorf("gates = %d, want the EstimateLinear design size", b.Gates)
 	}
+	if b.Procs != 8 {
+		t.Errorf("procs = %d, want 8 from the -8 suffix", b.Procs)
+	}
 	if b.Metrics["avg-mean-err-%"] != 0.44 {
 		t.Errorf("custom metric missing: %+v", b.Metrics)
+	}
+}
+
+func TestParseLineWorkersSubBenchmark(t *testing.T) {
+	b, ok := parseLine("BenchmarkTrueLeakageWorkers/workers=4-8 \t 3\t 41000000 ns/op")
+	if !ok {
+		t.Fatalf("line not recognized")
+	}
+	if b.Name != "TrueLeakageWorkers/workers=4" {
+		t.Errorf("name = %q; the sub-benchmark path must survive", b.Name)
+	}
+	if b.Workers != 4 || b.Procs != 8 {
+		t.Errorf("workers/procs = %d/%d, want 4/8", b.Workers, b.Procs)
+	}
+	if b.Gates != 3512 {
+		t.Errorf("gates = %d, want the c7552 size keyed off the base name", b.Gates)
+	}
+}
+
+func TestParseLineKeepsNonNumericSuffix(t *testing.T) {
+	// A dash that is part of the benchmark name (no GOMAXPROCS suffix,
+	// as with -cpu=1 output on some toolchains) must not be stripped.
+	b, ok := parseLine("BenchmarkPolar-1d 5 1000 ns/op")
+	if !ok || b.Name != "Polar-1d" || b.Procs != 0 {
+		t.Errorf("b = %+v, ok = %v", b, ok)
+	}
+	b, ok = parseLine("BenchmarkTruth-fast 5 1000 ns/op")
+	if !ok || b.Name != "Truth-fast" || b.Procs != 0 {
+		t.Errorf("non-numeric suffix stripped: %+v, ok = %v", b, ok)
 	}
 }
 

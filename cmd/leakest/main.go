@@ -50,8 +50,10 @@ func (m *meter) report(p leakest.Progress) {
 		return
 	}
 	if p.Final {
-		fmt.Fprintf(os.Stderr, "\r%-24s %d/%d (100.0%%) in %s            \n",
-			p.Stage, p.Done, p.Total, p.Elapsed.Round(time.Millisecond))
+		// A final report with Done < Total is a stage that stopped early
+		// (cancel, deadline, budget); render its real percentage.
+		fmt.Fprintf(os.Stderr, "\r%-24s %d/%d (%.1f%%) in %s            \n",
+			p.Stage, p.Done, p.Total, p.Percent(), p.Elapsed.Round(time.Millisecond))
 		return
 	}
 	eta := "?"
@@ -78,7 +80,7 @@ func failErr(what string, err error) {
 		if prog.verbose {
 			fmt.Fprintln(os.Stderr)
 		}
-		if p, ok := prog.partial(); ok && !p.Final {
+		if p, ok := prog.partial(); ok && p.Done < p.Total {
 			fmt.Fprintf(os.Stderr, "leakest: interrupted during %s at %d/%d (%.1f%%, %s elapsed)\n",
 				p.Stage, p.Done, p.Total, p.Percent(), p.Elapsed.Round(time.Millisecond))
 		}
@@ -145,6 +147,7 @@ func main() {
 	mc := flag.Int("mc", 0, "late mode: also run a full-chip Monte Carlo with this many samples")
 	vt := flag.Bool("vt", true, "apply the random-Vt mean correction")
 	seed := flag.Int64("seed", 1, "random seed (placement of -bench netlists)")
+	workers := flag.Int("workers", 0, "goroutines for the long loops; 0 = all cores, 1 = serial (results identical)")
 	reportPath := flag.String("report", "", "write a markdown sign-off report to this path")
 	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (e.g. 30s); 0 = none")
 	maxGates := flag.Int("max-gates", 0, "budget: degrade to cheaper estimators beyond this many gates; 0 = no limit")
@@ -207,7 +210,7 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "characterizing the built-in ISCAS cell subset...")
 		lib, err = leakest.CharacterizeContext(ctx, cells.ISCASSubset(), leakest.CharConfig{
-			Process: leakest.DefaultProcess(), Seed: 20070604,
+			Process: leakest.DefaultProcess(), Seed: 20070604, Workers: *workers,
 		})
 		if err != nil {
 			failErr("characterizing", err)
@@ -219,6 +222,7 @@ func main() {
 		fail("%v", err)
 	}
 	est.ApplyVtMean = *vt
+	est.Workers = *workers
 
 	var design leakest.Design
 	var nl *leakest.Netlist

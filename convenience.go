@@ -125,6 +125,7 @@ func (e *Estimator) MonteCarloContext(ctx context.Context, nl *Netlist, pl *Plac
 		SignalProb: signalProb,
 		Samples:    samples,
 		Seed:       seed,
+		Workers:    e.Workers,
 	}, nl, pl)
 }
 
@@ -141,6 +142,7 @@ func (e *Estimator) MonteCarloBudgeted(ctx context.Context, nl *Netlist, pl *Pla
 		Samples:    samples,
 		Seed:       seed,
 		MaxGates:   maxGates,
+		Workers:    e.Workers,
 	}, nl, pl)
 }
 

@@ -23,6 +23,7 @@ import (
 	"leakest/internal/fault"
 	"leakest/internal/linalg"
 	"leakest/internal/lkerr"
+	"leakest/internal/parallel"
 	"leakest/internal/quad"
 	"leakest/internal/randvar"
 	"leakest/internal/spatial"
@@ -49,6 +50,11 @@ type Config struct {
 	MCSamples int
 	// Seed makes the MC reproducible.
 	Seed int64
+	// Workers is the goroutine count characterizing (cell, state) pairs:
+	// 0 selects runtime.GOMAXPROCS(0), 1 forces the serial path. The
+	// library is bitwise identical at any setting — every state draws from
+	// its own PRNG stream keyed by (Seed, cell name, state).
+	Workers int
 }
 
 func (c *Config) setDefaults() error {
@@ -250,31 +256,46 @@ func CharacterizeContext(ctx context.Context, lib []*cells.Cell, cfg Config) (*L
 		cellsC = r.Counter("charlib_cells_characterized")
 	}
 
-	done := int64(0)
-	out := &Library{Process: proc, Cells: make([]CellChar, 0, len(lib))}
-	for _, cell := range lib {
-		cc := CellChar{
+	// Fan out per (cell, state): each task owns one pre-allocated States
+	// slot and its own PRNG stream (seeded inside characterizeState from
+	// the cell name and state index), so the fan-out order cannot leak
+	// into the result.
+	out := &Library{Process: proc, Cells: make([]CellChar, len(lib))}
+	type charTask struct {
+		cell  int
+		state uint
+	}
+	tasks := make([]charTask, 0, totalStates)
+	for ci, cell := range lib {
+		out.Cells[ci] = CellChar{
 			Name:       cell.Name,
 			NumInputs:  cell.NumInputs,
 			NumDevices: cell.NumDevices,
 			Class:      cell.Class,
+			States:     make([]StateChar, cell.NumStates()),
 		}
 		for s := uint(0); s < uint(cell.NumStates()); s++ {
-			if err := lkerr.FromContext(ctx, op); err != nil {
-				return nil, err
-			}
-			rep.Tick(done)
-			st, err := characterizeState(ctx, cell, s, mu, sigma, &cfg)
-			if err != nil {
-				return nil, lkerr.Wrap(lkerr.Numerical, op,
-					fmt.Errorf("%s state %d: %w", cell.Name, s, err))
-			}
-			cc.States = append(cc.States, st)
-			done++
+			tasks = append(tasks, charTask{cell: ci, state: s})
 		}
-		cellsC.Inc()
-		out.Cells = append(out.Cells, cc)
 	}
+	tick := parallel.NewTicker(rep)
+	err := parallel.ForEach(ctx, op, cfg.Workers, len(tasks), func(_, i int) error {
+		tk := tasks[i]
+		cell := lib[tk.cell]
+		st, err := characterizeState(ctx, cell, tk.state, mu, sigma, &cfg)
+		if err != nil {
+			return lkerr.Wrap(lkerr.Numerical, op,
+				fmt.Errorf("%s state %d: %w", cell.Name, tk.state, err))
+		}
+		out.Cells[tk.cell].States[tk.state] = st
+		tick.Tick()
+		return nil
+	})
+	if err != nil {
+		rep.Done(tick.Count())
+		return nil, err
+	}
+	cellsC.Add(int64(len(lib)))
 	rep.Done(totalStates)
 	if err := out.rebuild(); err != nil {
 		return nil, err

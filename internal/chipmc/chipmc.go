@@ -10,6 +10,7 @@ package chipmc
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 
@@ -18,6 +19,7 @@ import (
 	"leakest/internal/linalg"
 	"leakest/internal/lkerr"
 	"leakest/internal/netlist"
+	"leakest/internal/parallel"
 	"leakest/internal/placement"
 	"leakest/internal/randvar"
 	"leakest/internal/spatial"
@@ -52,6 +54,16 @@ type Config struct {
 	// (default DefaultMaxGates). Exceeding it is a typed BudgetExceeded
 	// error, not a crash: the analytic estimators handle larger designs.
 	MaxGates int
+	// Workers is the goroutine count sampling trials: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces the serial path. Results are bitwise
+	// identical at any setting — every trial draws from its own PRNG stream
+	// derived from (Seed, trial index), and the moment reduction runs over
+	// the stored per-trial totals in trial order.
+	Workers int
+	// KeepTrials retains the per-trial chip totals in Result.Trials — the
+	// raw MC stream, used by the determinism suite and by distribution
+	// diagnostics. Off by default (costs 8 bytes per trial when on).
+	KeepTrials bool
 }
 
 // Result is the sampled full-chip leakage distribution summary.
@@ -60,6 +72,9 @@ type Result struct {
 	// Q05 and Q95 are the 5th and 95th percentile of total leakage.
 	Q05, Q95 float64
 	Samples  int
+	// Trials holds the per-trial chip totals in trial order when
+	// Config.KeepTrials is set; nil otherwise.
+	Trials []float64
 }
 
 // gateState holds the per-gate sampling tables.
@@ -179,25 +194,34 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 		return Result{}, lkerr.Wrap(lkerr.Numerical, op, err)
 	}
 
+	// Trial fan-out. Each trial draws from its own PRNG stream keyed by
+	// (Seed, trial index), so the sampled fields — and therefore every
+	// moment below — are bitwise identical at any worker count. Workers
+	// only race on disjoint totals[trial] slots and on their private
+	// ls/z scratch; the Welford reduction runs serially afterwards in
+	// trial order.
 	const nvt = 1.4 * 0.0259 // n·vT of the default 90 nm card
-	rng := stats.NewRNG(cfg.Seed, "chipmc/"+nl.Name)
-	ls := make([]float64, n)
+	workers := parallel.Resolve(cfg.Workers, cfg.Samples)
+	lsBuf := make([][]float64, workers)
+	zBuf := make([][]float64, workers)
 	totals := make([]float64, cfg.Samples)
-	var run stats.Running
 	endTrials := telemetry.StartSpan(ctx, "chipmc.trials")
 	rep := telemetry.StartProgress(ctx, "chipmc.trials", int64(cfg.Samples))
+	tick := parallel.NewTicker(rep)
 	var trialsC *telemetry.Counter
 	if r := telemetry.Default(); r != nil {
 		trialsC = r.Counter("chipmc_trials_total")
 	}
-	for trial := 0; trial < cfg.Samples; trial++ {
-		if err := lkerr.FromContext(ctx, op); err != nil {
-			return Result{}, err
-		}
-		rep.Tick(int64(trial))
+	err = parallel.ForEach(ctx, op, workers, cfg.Samples, func(w, trial int) error {
 		trialsC.Inc()
 		fault.Hit(fault.SiteChipMCTrial)
-		sampler.Sample(rng, ls)
+		if lsBuf[w] == nil {
+			lsBuf[w] = make([]float64, n)
+			zBuf[w] = make([]float64, n)
+		}
+		ls := lsBuf[w]
+		rng := stats.NewRNG(cfg.Seed, fmt.Sprintf("chipmc/%s/trial#%d", nl.Name, trial))
+		sampler.SampleInto(rng, zBuf[w], ls)
 		total := 0.0
 		for g := 0; g < n; g++ {
 			gs := &gates[g]
@@ -216,8 +240,17 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 			}
 			total += x
 		}
-		total = fault.Corrupt(fault.SiteChipMCTrial, total)
-		totals[trial] = total
+		totals[trial] = fault.Corrupt(fault.SiteChipMCTrial, total)
+		tick.Tick()
+		return nil
+	})
+	if err != nil {
+		rep.Done(tick.Count())
+		endTrials()
+		return Result{}, err
+	}
+	var run stats.Running
+	for _, total := range totals {
 		run.Push(total)
 	}
 	rep.Done(int64(cfg.Samples))
@@ -228,6 +261,9 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 		Q05:     stats.Quantile(totals, 0.05),
 		Q95:     stats.Quantile(totals, 0.95),
 		Samples: cfg.Samples,
+	}
+	if cfg.KeepTrials {
+		res.Trials = append([]float64(nil), totals...)
 	}
 	// Final-moment guard: a NaN produced by any trial must surface as a
 	// typed error, never as a silent NaN result.

@@ -8,6 +8,7 @@ import (
 
 	"leakest/internal/fault"
 	"leakest/internal/lkerr"
+	"leakest/internal/parallel"
 	"leakest/internal/quad"
 	"leakest/internal/telemetry"
 )
@@ -103,13 +104,15 @@ func (m *Model) EstimateLinearCtx(ctx context.Context) (Result, error) {
 	dh := m.Spec.H / float64(k)
 
 	// Off-diagonal mass over distance vectors (i, j) ≠ (0, 0); the
-	// diagonal term (0,0) contributes S·σ²_XI.
-	off := 0.0
-	for i := 0; i <= cols-1; i++ {
-		if err := lkerr.FromContext(ctx, "core.EstimateLinear"); err != nil {
-			return Result{}, err
-		}
-		rep.Tick(int64(i))
+	// diagonal term (0,0) contributes S·σ²_XI. Columns are sharded: each
+	// column i owns slot colOff[i] and sums its j terms top to bottom, and
+	// the columns are merged in index order below, so the result is
+	// bitwise identical at any worker count (the F(ρ_L) spline is
+	// read-only here).
+	colOff := make([]float64, cols)
+	tick := parallel.NewTicker(rep)
+	err := parallel.ForEach(ctx, "core.EstimateLinear", m.Workers, cols, func(_, i int) error {
+		sum := 0.0
 		for j := 0; j <= k-1; j++ {
 			if i == 0 && j == 0 {
 				continue
@@ -126,8 +129,19 @@ func (m *Model) EstimateLinearCtx(ctx context.Context) (Result, error) {
 			if i == 0 || j == 0 {
 				count = 2
 			}
-			off += count * mult * cov
+			sum += count * mult * cov
 		}
+		colOff[i] = sum
+		tick.Tick()
+		return nil
+	})
+	if err != nil {
+		rep.Done(tick.Count())
+		return Result{}, err
+	}
+	off := 0.0
+	for _, v := range colOff {
+		off += v
 	}
 	rep.Done(int64(cols))
 	off = fault.Corrupt(fault.SiteLinearAccum, off)

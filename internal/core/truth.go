@@ -7,6 +7,7 @@ import (
 	"leakest/internal/fault"
 	"leakest/internal/lkerr"
 	"leakest/internal/netlist"
+	"leakest/internal/parallel"
 	"leakest/internal/placement"
 	"leakest/internal/quad"
 	"leakest/internal/telemetry"
@@ -84,16 +85,20 @@ func TrueStatsCtx(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placem
 		xs[g], ys[g] = pl.Pos(g)
 	}
 
-	// Pairwise covariances (Eq. 15's off-diagonal part).
+	// Pairwise covariances (Eq. 15's off-diagonal part). The upper
+	// triangle is sharded by row: each row a owns slot rowVar[a] and sums
+	// its b > a pairs left to right exactly as the serial loop did, and
+	// the rows are merged in index order below, so the result is bitwise
+	// identical at any worker count. The splines and per-gate tables are
+	// read-only here (the model caches were warmed above).
 	rep := telemetry.StartProgress(ctx, "core.truth", int64(n))
-	for a := 0; a < n; a++ {
-		if err := lkerr.FromContext(ctx, op); err != nil {
-			return Result{}, err
-		}
-		rep.Tick(int64(a))
+	tick := parallel.NewTicker(rep)
+	rowVar := make([]float64, n)
+	err := parallel.ForEach(ctx, op, m.Workers, n, func(_, a int) error {
 		fault.Hit(fault.SiteTruthRow)
 		xa, ya, ta := xs[a], ys[a], gt[a]
 		row := pairSpl[ta]
+		sum := 0.0
 		for b := a + 1; b < n; b++ {
 			d := math.Hypot(xa-xs[b], ya-ys[b])
 			rho := m.Proc.TotalCorr(d)
@@ -105,9 +110,19 @@ func TrueStatsCtx(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placem
 			}
 			cov := row[gt[b]].Eval(rho)
 			if cov > 0 {
-				variance += 2 * cov
+				sum += 2 * cov
 			}
 		}
+		rowVar[a] = sum
+		tick.Tick()
+		return nil
+	})
+	if err != nil {
+		rep.Done(tick.Count())
+		return Result{}, err
+	}
+	for _, v := range rowVar {
+		variance += v
 	}
 	rep.Done(int64(n))
 	telemetry.Add("truth_pairs_total", int64(n)*int64(n-1)/2)

@@ -1,0 +1,184 @@
+// Package parallel is the deterministic worker pool behind the pipeline's
+// four long loops: chip-level Monte-Carlo trials (chipmc), per-(cell, state)
+// characterization (charlib), the O(n²) pair-sum rows (core.TrueStats), and
+// the linear estimator's distance-vector columns (core.EstimateLinear).
+//
+// The pool trades no reproducibility for speed. Its determinism contract:
+//
+//   - Tasks are independent: fn(i) may read shared immutable state and must
+//     write only to slots owned by index i (totals[i], rowSums[i], …).
+//   - Any randomness inside a task comes from a PRNG stream derived from
+//     (seed, i), never from a stream shared across tasks.
+//   - Callers merge per-index partial results in fixed index order on the
+//     coordinating goroutine after ForEach returns.
+//
+// Under that contract the result is bitwise identical at every worker
+// count, including the serial Workers = 1 path, because no floating-point
+// reduction ever crosses racing goroutines.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"leakest/internal/lkerr"
+	"leakest/internal/telemetry"
+)
+
+// Resolve maps a Workers configuration value to the effective pool size for
+// n tasks: zero or negative selects runtime.GOMAXPROCS(0), and the result
+// never exceeds n (more than one goroutine per task cannot help).
+func Resolve(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(worker, i) for every index i in [0, n) on up to workers
+// goroutines (after Resolve). worker ∈ [0, workers) identifies the executing
+// slot so tasks can reuse per-worker scratch buffers.
+//
+// Cancellation and failure semantics match the serial loops the pool
+// replaced: ctx is checked before every task (a cancel or deadline stops the
+// fan-out within one task's work and returns the typed Canceled /
+// DeadlineExceeded error for op), the first failure stops further task
+// claims, and ForEach returns only after every worker has exited — no
+// goroutine outlives the call. Indices are claimed in increasing order and a
+// claimed task always runs to completion, so when several tasks fail the
+// error of the lowest failing index is reported. A panic inside a task is
+// re-raised on the calling goroutine, preserving the public entry points'
+// RecoverInto classification.
+//
+// workers == 1 runs inline on the calling goroutine — exactly the serial
+// loop, with the same per-iteration cancellation checkpoint.
+func ForEach(ctx context.Context, op string, workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := lkerr.FromContext(ctx, op); err != nil {
+				return err
+			}
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+		panIdx   = n
+		firstPan any
+	)
+	fail := func(i int, err error, pan any) {
+		mu.Lock()
+		if pan != nil {
+			if i < panIdx {
+				panIdx, firstPan = i, pan
+			}
+		} else if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	runTask := func(w, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(i, nil, r)
+			}
+		}()
+		if err := fn(w, i); err != nil {
+			fail(i, err, nil)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := lkerr.FromContext(ctx, op); err != nil {
+					fail(i, err, nil)
+					return
+				}
+				runTask(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if firstPan != nil && panIdx <= errIdx {
+		panic(firstPan)
+	}
+	return firstErr
+}
+
+// Ticker serializes per-task progress ticks from pool workers onto one
+// telemetry.Reporter (which is single-goroutine by contract). It counts
+// completed tasks, so ticks are monotone regardless of completion order.
+//
+// A nil Ticker is valid and inert; NewTicker returns nil when no
+// ProgressFunc is attached, keeping the disabled path free of the mutex.
+type Ticker struct {
+	mu   sync.Mutex
+	rep  *telemetry.Reporter
+	done int64
+}
+
+// NewTicker wraps rep for concurrent ticking, or returns nil when rep is
+// nil (no progress consumer on the context).
+func NewTicker(rep *telemetry.Reporter) *Ticker {
+	if rep == nil {
+		return nil
+	}
+	return &Ticker{rep: rep}
+}
+
+// Tick records one completed task and forwards the running count to the
+// reporter under its rate limit.
+func (t *Ticker) Tick() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done++
+	t.rep.Tick(t.done)
+	t.mu.Unlock()
+}
+
+// Count returns how many tasks have completed so far — the Done value for a
+// final progress report when a fan-out stops early.
+func (t *Ticker) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}

@@ -1,0 +1,178 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leakest/internal/lkerr"
+)
+
+func TestResolve(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 100, cores},  // default: all cores
+		{-3, 100, cores}, // negative behaves like default
+		{1, 100, 1},      // explicit serial
+		{7, 3, 3},        // clamped to the task count
+		{7, 0, 7},        // n unknown: keep the request
+		{2, 100, 2},
+	}
+	for _, c := range cases {
+		if c.want > c.n && c.n > 0 {
+			c.want = c.n
+		}
+		if got := Resolve(c.workers, c.n); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+	if got := Resolve(0, 1); got != 1 {
+		t.Errorf("Resolve(0, 1) = %d, want 1", got)
+	}
+}
+
+// Every index must run exactly once, at any worker count.
+func TestForEachCoverage(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		hits := make([]atomic.Int64, n)
+		err := ForEach(context.Background(), "test", workers, n, func(_, i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	called := false
+	if err := ForEach(context.Background(), "test", 4, 0, func(_, _ int) error {
+		called = true
+		return nil
+	}); err != nil || called {
+		t.Errorf("err = %v, called = %v; want nil, false", err, called)
+	}
+}
+
+// When several tasks fail, the error of the lowest failing index must win —
+// that is what the serial loop would have returned first.
+func TestForEachLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(context.Background(), "test", workers, 64, func(_, i int) error {
+			if i%3 == 1 { // indices 1, 4, 7, ...
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 1 failed" {
+			t.Errorf("workers=%d: err = %v, want the index-1 failure", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), "test", 2, 10_000, func(_, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n == 10_000 {
+		t.Errorf("all %d tasks ran despite an early failure", n)
+	}
+}
+
+// A panic inside a task must resurface on the calling goroutine so the
+// public entry points' RecoverInto still classifies it.
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "kaboom" {
+					t.Errorf("workers=%d: recovered %v, want kaboom", workers, r)
+				}
+			}()
+			_ = ForEach(context.Background(), "test", workers, 32, func(_, i int) error {
+				if i == 5 {
+					panic("kaboom")
+				}
+				return nil
+			})
+			t.Errorf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEach(ctx, "test.op", workers, 10_000, func(_, i int) error {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, lkerr.ErrCanceled) {
+			t.Errorf("workers=%d: err = %v, want typed Canceled", workers, err)
+		}
+		if n := ran.Load(); n == 10_000 {
+			t.Errorf("workers=%d: all tasks ran despite the cancel", workers)
+		}
+	}
+}
+
+// ForEach must not leave goroutines behind, even when it stops early.
+func TestForEachNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = ForEach(ctx, "test", 8, 1000, func(_, i int) error {
+			if i == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+	// Let exiting workers finish their final instructions.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines settled at %d, started with %d", runtime.NumGoroutine(), before)
+}
+
+func TestTickerNilSafe(t *testing.T) {
+	var tk *Ticker
+	tk.Tick() // must not panic
+	if tk.Count() != 0 {
+		t.Errorf("nil Ticker count = %d", tk.Count())
+	}
+	if NewTicker(nil) != nil {
+		t.Errorf("NewTicker(nil) should be nil")
+	}
+}

@@ -200,20 +200,34 @@ func NewMVNSampler(mean []float64, cov *linalg.Matrix) (*MVNSampler, error) {
 func (s *MVNSampler) Dim() int { return len(s.mean) }
 
 // Sample fills out with one draw x = mean + L·z, z ~ N(0, I). out must have
-// length Dim.
+// length Dim. It reuses the sampler's internal scratch, so it is not safe
+// for concurrent use; parallel callers use SampleInto with per-worker
+// scratch instead.
 func (s *MVNSampler) Sample(rng *rand.Rand, out []float64) {
+	s.SampleInto(rng, s.z, out)
+}
+
+// SampleInto is Sample with caller-supplied standard-normal scratch z (length
+// Dim), making the sampler safe for concurrent draws as long as each worker
+// owns its z and out buffers. The draw consumes exactly Dim normals from rng
+// in index order, so a per-trial PRNG stream yields identical fields at any
+// worker count.
+func (s *MVNSampler) SampleInto(rng *rand.Rand, z, out []float64) {
 	n := len(s.mean)
 	if len(out) != n {
 		panic(fmt.Sprintf("randvar: Sample out length %d != dim %d", len(out), n))
 	}
-	for i := range s.z {
-		s.z[i] = rng.NormFloat64()
+	if len(z) != n {
+		panic(fmt.Sprintf("randvar: Sample scratch length %d != dim %d", len(z), n))
+	}
+	for i := range z {
+		z[i] = rng.NormFloat64()
 	}
 	for i := 0; i < n; i++ {
 		row := s.l.Row(i)
 		acc := s.mean[i]
 		for j := 0; j <= i; j++ {
-			acc += row[j] * s.z[j]
+			acc += row[j] * z[j]
 		}
 		out[i] = acc
 	}

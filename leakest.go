@@ -179,6 +179,12 @@ type Estimator struct {
 	// factor (§2.1); the variance is unaffected, as the paper argues and
 	// the Vt-ablation experiment confirms.
 	ApplyVtMean bool
+	// Workers is the goroutine count for the long loops (the O(n²) pair
+	// sum, the linear estimator's distance columns, and the full-chip
+	// Monte Carlo): 0 selects runtime.GOMAXPROCS(0), 1 forces the serial
+	// path. Every result is bitwise identical at any setting — see the
+	// determinism contract in internal/parallel.
+	Workers int
 }
 
 // NewEstimator creates an estimator. proc may be nil to use the process the
@@ -208,7 +214,18 @@ func (e *Estimator) Process() *Process { return e.proc }
 
 // model builds the RG model for a design.
 func (e *Estimator) model(design Design) (*core.Model, error) {
-	return core.NewModel(e.lib, e.proc, design, e.mode)
+	return e.newModelCtx(context.Background(), design)
+}
+
+// newModelCtx builds the RG model for a design and stamps the estimator's
+// worker count onto it, so every model-backed loop shares one setting.
+func (e *Estimator) newModelCtx(ctx context.Context, design Design) (*core.Model, error) {
+	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
+	if err != nil {
+		return nil, err
+	}
+	m.Workers = e.Workers
+	return m, nil
 }
 
 // Estimate returns the full-chip leakage statistics of a design described
@@ -229,7 +246,7 @@ func (e *Estimator) EstimateContext(ctx context.Context, design Design, method M
 		return Result{}, err
 	}
 	ctx, tr := telemetry.EnsureTrace(ctx)
-	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
+	m, err := e.newModelCtx(ctx, design)
 	if err != nil {
 		return Result{}, err
 	}
@@ -321,7 +338,7 @@ func (e *Estimator) TrueLeakageContext(ctx context.Context, nl *Netlist, pl *Pla
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := core.NewModelCtx(ctx, e.lib, e.proc, design, e.mode)
+	m, err := e.newModelCtx(ctx, design)
 	if err != nil {
 		return Result{}, err
 	}
