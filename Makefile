@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race race-parallel fuzz bench
+.PHONY: build test check vet race race-parallel fuzz bench conformance
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,16 @@ race:
 # detector (the fault-injection registry and shared-library caches are
 # concurrency-sensitive).
 check: vet race
+
+# conformance is the statistical verification gate: the harness package
+# under the race detector, then `leakest verify` at two worker counts (the
+# report must be identical — the second run also writes the JSON artifact
+# CI uploads). Short mode keeps it CI-sized; run `leakest verify` without
+# -short for the full-depth local pass.
+conformance:
+	$(GO) test -race ./internal/conformance/
+	$(GO) run ./cmd/leakest verify -short -workers 1
+	$(GO) run ./cmd/leakest verify -short -workers 4 -json CONFORMANCE_leakest.json
 
 # A short fuzz pass over the .bench parser; CI runs the seed corpus via
 # `go test`, this target digs further locally.

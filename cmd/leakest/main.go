@@ -134,6 +134,11 @@ func parseMethod(s string) (leakest.Method, error) {
 }
 
 func main() {
+	// Subcommands come before the flag-driven estimation modes; `leakest
+	// verify` runs the conformance harness.
+	if len(os.Args) > 1 && os.Args[1] == "verify" {
+		os.Exit(runVerify(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	libPath := flag.String("lib", "", "characterized library JSON (from cellchar); default: characterize built-in cells")
 	full := flag.Bool("full", false, "with no -lib: characterize the full 62-cell library instead of the ISCAS subset")
 	benchPath := flag.String("bench", "", "late mode: ISCAS85 .bench netlist to estimate")

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"leakest/internal/charlib"
+	"leakest/internal/conformance"
 	"leakest/internal/core"
 	"leakest/internal/experiments"
 	"leakest/internal/stats"
@@ -75,6 +76,34 @@ func main() {
 		return full
 	}
 	ran := 0
+	checked := 0
+	var violations []string
+	// checkClaims gates every claim an experiment makes about itself against
+	// the conformance envelopes (recorded measured errors plus declared
+	// headroom). A claim with no recorded envelope is itself a violation —
+	// new claims must land together with their envelope.
+	checkClaims := func(name string, t *experiments.Table) {
+		for _, c := range t.Claims {
+			label := c.Name
+			if c.N > 0 {
+				label = fmt.Sprintf("%s@%d", c.Name, c.N)
+			}
+			checked++
+			bound, ok := conformance.RecordedEnvelope(c.Name, c.N)
+			switch {
+			case !ok:
+				violations = append(violations,
+					fmt.Sprintf("%s: %s has no recorded envelope (value %.4g)", name, label, c.Value))
+				fmt.Fprintf(os.Stderr, "check %-24s %10.4g  FAIL (no recorded envelope)\n", label, c.Value)
+			case c.Value > bound:
+				violations = append(violations,
+					fmt.Sprintf("%s: %s = %.4g exceeds the recorded envelope %.4g", name, label, c.Value, bound))
+				fmt.Fprintf(os.Stderr, "check %-24s %10.4g  FAIL (> %.4g)\n", label, c.Value, bound)
+			default:
+				fmt.Fprintf(os.Stderr, "check %-24s %10.4g  ok (≤ %.4g)\n", label, c.Value, bound)
+			}
+		}
+	}
 	run := func(name string, fn func() (*experiments.Table, error)) {
 		if !want(name) {
 			return
@@ -86,6 +115,7 @@ func main() {
 			fail("%s: %v", name, err)
 		}
 		fmt.Println(t.String())
+		checkClaims(name, t)
 		fmt.Fprintf(os.Stderr, "[%s took %s]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
@@ -198,6 +228,17 @@ func main() {
 	if ran == 0 {
 		known := []string{"all", "cellacc", "fig2", "fig3", "fig6", "table1", "simplcorr", "fig7", "vt", "naive", "gateleak", "gridcmp", "temp", "sigprop", "scaling"}
 		fail("unknown experiment %q (known: %s)", *exp, strings.Join(known, ", "))
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "paperfigs: %d of %d claim(s) outside their recorded envelope:\n",
+			len(violations), checked)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	if checked > 0 {
+		fmt.Fprintf(os.Stderr, "paperfigs: all %d claim(s) within their recorded envelopes\n", checked)
 	}
 }
 

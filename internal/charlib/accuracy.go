@@ -1,0 +1,25 @@
+package charlib
+
+import (
+	"math"
+
+	"leakest/internal/stats"
+)
+
+// FitAccuracy returns the worst absolute relative error (in percent) of the
+// fitted analytical moments against the Monte-Carlo moments, across every
+// cell and input state of the library — the E1 experiment's summary
+// numbers, exposed so the conformance harness can freeze them as goldens.
+func (l *Library) FitAccuracy() (meanMaxPct, stdMaxPct float64) {
+	for i := range l.Cells {
+		for _, st := range l.Cells[i].States {
+			if me := math.Abs(stats.RelErr(st.FitMean, st.MCMean)); me > meanMaxPct {
+				meanMaxPct = me
+			}
+			if se := math.Abs(stats.RelErr(st.FitStd, st.MCStd)); se > stdMaxPct {
+				stdMaxPct = se
+			}
+		}
+	}
+	return meanMaxPct, stdMaxPct
+}

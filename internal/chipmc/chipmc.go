@@ -77,6 +77,15 @@ type Result struct {
 	Trials []float64
 }
 
+// MeanSE returns the standard error of the sampled mean, the natural
+// tolerance unit when comparing the MC mean against an analytic estimator.
+func (r Result) MeanSE() float64 { return stats.MeanSE(r.Std, r.Samples) }
+
+// StdSE returns the normal-theory standard error of the sampled standard
+// deviation. The per-trial totals are lognormal-ish, so the true error is
+// somewhat larger; callers widen the z multiplier to absorb that.
+func (r Result) StdSE() float64 { return stats.StdSE(r.Std, r.Samples) }
+
 // gateState holds the per-gate sampling tables.
 type gateState struct {
 	states []*charlib.StateChar

@@ -1,0 +1,176 @@
+package conformance
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRunShort is the conformance gate itself: the short harness must pass
+// every check on a healthy tree.
+func TestRunShort(t *testing.T) {
+	rep, err := Run(context.Background(), Config{Short: true, Workers: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Checks) < 50 {
+		t.Fatalf("only %d checks ran; the fixture set should produce far more", len(rep.Checks))
+	}
+	if !rep.OK() {
+		var b strings.Builder
+		rep.Summarize(&b, false)
+		t.Fatalf("harness failed:\n%s", b.String())
+	}
+	if rep.Passed != len(rep.Checks) || rep.Failed != 0 {
+		t.Fatalf("tally mismatch: %d checks, passed %d, failed %d", len(rep.Checks), rep.Passed, rep.Failed)
+	}
+}
+
+// TestWorkerIndependence asserts the determinism contract end to end: the
+// report — every got, want, and margin — is identical at any worker count.
+func TestWorkerIndependence(t *testing.T) {
+	r1, err := Run(context.Background(), Config{Short: true, Workers: 1})
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	r4, err := Run(context.Background(), Config{Short: true, Workers: 4})
+	if err != nil {
+		t.Fatalf("workers=4: %v", err)
+	}
+	if r1.Workers == r4.Workers {
+		t.Fatal("test misconfigured: both runs report the same worker count")
+	}
+	r1.Workers, r4.Workers = 0, 0
+	if !reflect.DeepEqual(r1, r4) {
+		for i := range r1.Checks {
+			if i < len(r4.Checks) && !reflect.DeepEqual(r1.Checks[i], r4.Checks[i]) {
+				t.Errorf("check %d differs:\n  w1: %+v\n  w4: %+v", i, r1.Checks[i], r4.Checks[i])
+			}
+		}
+		t.Fatal("reports differ across worker counts")
+	}
+}
+
+// TestMutationSelfCheck proves the harness has teeth: a 1 % perturbation of
+// any estimator moment must trip at least one check.
+func TestMutationSelfCheck(t *testing.T) {
+	results, err := MutationSelfCheck(context.Background(), Config{Short: true, Workers: 1})
+	if err != nil {
+		t.Fatalf("MutationSelfCheck: %v", err)
+	}
+	if want := 2 * len(mutationTargets); len(results) != want {
+		t.Fatalf("got %d self-check results, want %d", len(results), want)
+	}
+	for _, r := range results {
+		if !r.Caught {
+			t.Errorf("a %g× %s/%s perturbation slipped through every check", SelfCheckFactor, r.Target, r.Moment)
+		}
+	}
+	if !AllCaught(results) {
+		t.Error("AllCaught disagrees with the per-result loop")
+	}
+	if AllCaught(nil) {
+		t.Error("AllCaught must be false for an empty result set")
+	}
+}
+
+// TestMutationIsScoped checks the mutation hook perturbs only its target:
+// an unrelated target leaves the linear checks untouched.
+func TestMutationIsScoped(t *testing.T) {
+	cfg := Config{Short: true, Workers: 1, lite: true,
+		Mutation: &Mutation{Target: "naive", Moment: "std", Factor: SelfCheckFactor}}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, c := range rep.Checks {
+		if strings.HasPrefix(c.Name, "naive/std") {
+			if c.Pass {
+				t.Errorf("%s/%s should have failed under the naive/std mutation", c.Fixture, c.Name)
+			}
+			continue
+		}
+		if !c.Pass {
+			t.Errorf("%s/%s failed but only naive/std was mutated", c.Fixture, c.Name)
+		}
+	}
+}
+
+// TestFixtures sanity-checks the fixture set: valid processes, positive
+// sizes, and the degenerate corners the issue demands are all present.
+func TestFixtures(t *testing.T) {
+	fixtures, err := Fixtures(true)
+	if err != nil {
+		t.Fatalf("Fixtures: %v", err)
+	}
+	want := map[string]bool{
+		"baseline": false, "tight-corr": false, "one-gate": false,
+		"single-cell": false, "all-d2d": false, "all-wid": false,
+		"wide-corr": false, "skinny": false,
+	}
+	for _, fx := range fixtures {
+		if _, ok := want[fx.Name]; !ok {
+			t.Errorf("unexpected fixture %q", fx.Name)
+		}
+		want[fx.Name] = true
+		if err := fx.Proc.Validate(); err != nil {
+			t.Errorf("%s: invalid process: %v", fx.Name, err)
+		}
+		if fx.N() < 1 {
+			t.Errorf("%s: empty grid", fx.Name)
+		}
+		if fx.PolarOK && fx.PolarRefused {
+			t.Errorf("%s: polar cannot both succeed and refuse", fx.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("fixture %q missing", name)
+		}
+	}
+	for name := range liteNames {
+		if !want[name] {
+			t.Errorf("lite fixture %q not in the fixture set", name)
+		}
+	}
+}
+
+// TestGoldenFrozen checks the embedded golden file parses, matches the
+// generator's seed, and covers the E1–E6 shapes.
+func TestGoldenFrozen(t *testing.T) {
+	entries, err := FrozenGolden()
+	if err != nil {
+		t.Fatalf("FrozenGolden: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		seen[e.Name] = true
+		if e.Tol.Allowed(e.Value) <= 0 && e.Value != 0 {
+			t.Errorf("%s: frozen with a zero tolerance", e.Name)
+		}
+	}
+	for _, name := range []string{
+		"e1.mean_err_max", "e1.std_err_max", "e2.identity_dev", "e2.mc_mismatch",
+		"e3.pstar", "e4.envelope_256", "e5.std_err_c432", "e6.simpl_err_256",
+	} {
+		if !seen[name] {
+			t.Errorf("golden entry %q missing — run `go generate ./internal/conformance`", name)
+		}
+	}
+}
+
+// TestMargin pins the margin convention: exact match passes even with zero
+// allowance; any deviation against zero allowance is infinite.
+func TestMargin(t *testing.T) {
+	if m := margin(1, 1, 0); m != 0 {
+		t.Errorf("exact match with zero allowance: margin %g, want 0", m)
+	}
+	if m := margin(1, 2, 0); !math.IsInf(m, 1) {
+		t.Errorf("deviation with zero allowance: margin %g, want +Inf", m)
+	}
+	if m := margin(1.5, 1, 1); m != 0.5 {
+		t.Errorf("margin %g, want 0.5", m)
+	}
+}

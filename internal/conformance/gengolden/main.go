@@ -1,0 +1,36 @@
+// Command gengolden regenerates internal/conformance/testdata/golden.json:
+// the frozen E1–E6 experiment-shape scalars with their declared tolerances
+// and recorded-envelope bounds. Run it via `go generate
+// ./internal/conformance` after any change that legitimately moves the
+// numbers, and review the diff — the envelope bounds still gate the new
+// values, so a regression cannot be frozen in.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"leakest/internal/conformance"
+)
+
+func main() {
+	entries, err := conformance.ComputeGolden(context.Background(), 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengolden:", err)
+		os.Exit(1)
+	}
+	data, err := conformance.WriteGoldenFile(entries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengolden:", err)
+		os.Exit(1)
+	}
+	// go:generate runs with the package directory as cwd.
+	path := filepath.Join("testdata", "golden.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gengolden:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gengolden: wrote %d entries to %s\n", len(entries), path)
+}

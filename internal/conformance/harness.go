@@ -1,0 +1,312 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"leakest/internal/charlib"
+	"leakest/internal/chipmc"
+	"leakest/internal/core"
+	"leakest/internal/lkerr"
+	"leakest/internal/netlist"
+	"leakest/internal/placement"
+	"leakest/internal/stats"
+)
+
+// mcZ is the z multiplier on Monte-Carlo standard errors. Five sigmas keep
+// the deterministic seeded runs far from a flaky boundary while still
+// failing loudly on any real bias; the σ comparison uses the normal-theory
+// SE, which understates the lognormal totals' true error, and the wide z
+// absorbs that too.
+const mcZ = 5.0
+
+// Run executes the full harness: every fixture, every estimation path,
+// plus the golden gates. Check failures land in the report; only
+// infrastructure errors (library characterization, model construction)
+// return a non-nil error.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	lib, err := charlib.SharedCore()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Short: cfg.Short, Seed: cfg.Seed, Workers: cfg.Workers}
+	h := &harness{cfg: cfg, lib: lib, rep: rep}
+	fixtures, err := Fixtures(cfg.Short)
+	if err != nil {
+		return nil, err
+	}
+	for _, fx := range fixtures {
+		if cfg.lite && !liteNames[fx.Name] {
+			continue
+		}
+		if cfg.lite {
+			fx.MC = false
+		}
+		if err := h.runFixture(ctx, fx); err != nil {
+			return nil, fmt.Errorf("conformance: fixture %s: %w", fx.Name, err)
+		}
+	}
+	if !cfg.lite {
+		if err := h.runGolden(ctx); err != nil {
+			return nil, err
+		}
+	}
+	rep.tally()
+	return rep, nil
+}
+
+type harness struct {
+	cfg Config
+	lib *charlib.Library
+	rep *Report
+}
+
+// check records one numeric comparison.
+func (h *harness) check(fixture, name, kind string, got, want float64, tol Tolerance, detail string) {
+	allowed := tol.Allowed(want)
+	m := margin(got, want, allowed)
+	h.rep.Checks = append(h.rep.Checks, Check{
+		Fixture: fixture, Name: name, Kind: kind,
+		Got: got, Want: want, Tol: tol, Allowed: allowed,
+		Margin: m, Pass: m <= 1, Detail: detail,
+	})
+}
+
+// checkBehavior records a structural pass/fail expectation.
+func (h *harness) checkBehavior(fixture, name string, pass bool, detail string) {
+	m := 0.0
+	if !pass {
+		m = math.Inf(1)
+	}
+	h.rep.Checks = append(h.rep.Checks, Check{
+		Fixture: fixture, Name: name, Kind: KindBehavior,
+		Margin: m, Pass: pass, Detail: detail,
+	})
+}
+
+// mutate applies the configured perturbation when the target matches —
+// the hook MutationSelfCheck uses to prove the checks have teeth. The
+// independent references are computed outside this hook, so a mutated
+// estimator always disagrees with its reference.
+func (h *harness) mutate(target string, r core.Result) core.Result {
+	mu := h.cfg.Mutation
+	if mu == nil || mu.Target != target {
+		return r
+	}
+	switch mu.Moment {
+	case "mean":
+		r.Mean *= mu.Factor
+	case "std":
+		r.Std *= mu.Factor
+	}
+	return r
+}
+
+func (h *harness) runFixture(ctx context.Context, fx Fixture) error {
+	n := fx.N()
+	spec := core.DesignSpec{
+		Hist: fx.Hist, N: n,
+		W:          float64(fx.Cols) * placement.DefaultSitePitch,
+		H:          float64(fx.Rows) * placement.DefaultSitePitch,
+		SignalProb: fx.SignalProb,
+	}
+	m, err := core.NewModelCtx(ctx, h.lib, fx.Proc, spec, core.Analytic)
+	if err != nil {
+		return err
+	}
+	m.Workers = h.cfg.Workers
+	nMean := float64(n) * m.MeanPerGate()
+
+	// --- O(n) linear vs brute-force Eq. 15 over the full site grid ------
+	lin, err := m.EstimateLinearCtx(ctx)
+	if err != nil {
+		return err
+	}
+	lin = h.mutate("linear", lin)
+	h.checkBehavior(fx.Name, "linear/full-occupancy", lin.Note == "",
+		"fixture grids are full-occupancy; occupancy scaling must not engage")
+	h.check(fx.Name, "linear/mean-identity", KindExact, lin.Mean, nMean, Exact(),
+		"every RG estimator's mean is n·µ_XI")
+	brute := bruteStd(m, lin.GridRows, lin.GridCols)
+	h.check(fx.Name, "linear/std-vs-brute-force", KindExact, lin.Std, brute, Exact(),
+		"Eq. 17 distance regrouping ≡ Eq. 15 site-pair sum")
+
+	// --- naive baseline: an exact closed form ---------------------------
+	naive, err := m.EstimateNaiveCtx(ctx)
+	if err != nil {
+		return err
+	}
+	naive = h.mutate("naive", naive)
+	h.check(fx.Name, "naive/mean-identity", KindExact, naive.Mean, nMean, Exact(), "")
+	h.check(fx.Name, "naive/std-identity", KindExact, naive.Std,
+		math.Sqrt(float64(n)*m.RGVariance()), Exact(), "independence baseline is √(n·σ²_XI)")
+
+	// --- O(1) 2-D integral ----------------------------------------------
+	integ, err := m.EstimateIntegral2DCtx(ctx)
+	if err != nil {
+		return err
+	}
+	integ = h.mutate("integral2d", integ)
+	h.check(fx.Name, "integral2d/mean-identity", KindExact, integ.Mean, nMean, Exact(), "")
+	h.check(fx.Name, "integral2d/std-vs-refined-quadrature", KindExact,
+		integ.Std, integral2DRefStd(m), Tolerance{Rel: 1e-3},
+		"same Eq. 20 integrand at twice the panel count; only quadrature error remains")
+	intBound := fx.IntErrBoundPct
+	detail := "measured envelope of this off-corner fixture"
+	if intBound == 0 {
+		intBound, _ = RecordedEnvelope("e7.integral_err", n)
+		detail = "E7 recorded envelope at this size"
+	}
+	h.check(fx.Name, "integral2d/std-vs-linear", KindApprox, integ.Std, lin.Std,
+		RelPct(intBound), detail)
+
+	// --- O(1) polar integral --------------------------------------------
+	polar, perr := m.EstimatePolarCtx(ctx)
+	switch {
+	case fx.PolarRefused:
+		h.checkBehavior(fx.Name, "polar/typed-refusal",
+			perr != nil && errors.Is(perr, lkerr.ErrInvalidInput),
+			fmt.Sprintf("correlation range beyond min(W,H) must refuse with InvalidInput; got %v", perr))
+	case fx.PolarOK:
+		if perr != nil {
+			return perr
+		}
+		polar = h.mutate("polar", polar)
+		h.check(fx.Name, "polar/mean-identity", KindExact, polar.Mean, nMean, Exact(), "")
+		h.check(fx.Name, "polar/std-vs-refined-quadrature", KindExact,
+			polar.Std, polarRefStd(m), Tolerance{Rel: 1e-3},
+			"same Eqs. 25–26 integrand at twice the panel count")
+		pBound := fx.PolarErrBoundPct
+		if pBound == 0 {
+			pBound, _ = RecordedEnvelope("e7.polar_err", n)
+		}
+		h.check(fx.Name, "polar/std-vs-integral2d", KindApprox, polar.Std, integ.Std,
+			RelPct(pBound), "the two O(1) continuum approximations must agree")
+	}
+
+	if fx.Placed {
+		if err := h.runPlaced(ctx, fx, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPlaced builds a seeded random placed circuit on the fixture grid and
+// cross-validates the O(n²) truth path and (optionally) the chip-level
+// Monte Carlo against it.
+func (h *harness) runPlaced(ctx context.Context, fx Fixture, m *core.Model) error {
+	n := fx.N()
+	rng := stats.NewRNG(h.cfg.Seed, "conformance/"+fx.Name)
+	nl, err := netlist.RandomCircuit(rng, "conf-"+fx.Name, n, 16, fx.Hist, libArity(h.lib))
+	if err != nil {
+		return err
+	}
+	grid, err := placement.NewGrid(n, placement.DefaultSitePitch, placement.DefaultSitePitch,
+		float64(fx.Cols)/float64(fx.Rows))
+	if err != nil {
+		return err
+	}
+	pl, err := placement.Random(rng, grid, n)
+	if err != nil {
+		return err
+	}
+	// The extracted spec replaces the fixture histogram with the realized
+	// one (the late-mode flow), making Σµ_g = n·µ_XI an identity.
+	spec, err := core.ExtractSpec(nl, pl, fx.SignalProb)
+	if err != nil {
+		return err
+	}
+	em, err := core.NewModelCtx(ctx, h.lib, fx.Proc, spec, core.Analytic)
+	if err != nil {
+		return err
+	}
+	em.Workers = h.cfg.Workers
+
+	truth, err := core.TrueStatsCtx(ctx, em, nl, pl)
+	if err != nil {
+		return err
+	}
+	truth = h.mutate("truth", truth)
+	refMean, refStd, err := serialTruthRef(em, nl, pl)
+	if err != nil {
+		return err
+	}
+	h.check(fx.Name, "truth/mean-vs-serial-reference", KindExact, truth.Mean, refMean, Exact(),
+		"row-sharded Eq. 15 vs an independent serial accumulation")
+	h.check(fx.Name, "truth/std-vs-serial-reference", KindExact, truth.Std, refStd, Exact(), "")
+	h.check(fx.Name, "truth/mean-identity", KindExact, truth.Mean,
+		float64(n)*em.MeanPerGate(), Exact(),
+		"extracted histogram makes Σµ_g = n·µ_XI exact (the E5 observation)")
+
+	lin, err := em.EstimateLinearCtx(ctx)
+	if err != nil {
+		return err
+	}
+	lin = h.mutate("linear", lin)
+	e4Bound, _ := RecordedEnvelope("e4.envelope", n)
+	h.check(fx.Name, "truth/std-vs-rg-estimate", KindApprox, truth.Std, lin.Std,
+		RelPct(e4Bound), "one placed circuit against the RG abstraction (E4 envelope)")
+
+	if fx.MC {
+		trials := 1500
+		if h.cfg.Short {
+			trials = 400
+		}
+		mc, err := chipmc.RunContext(ctx, chipmc.Config{
+			Lib: h.lib, Proc: fx.Proc, SignalProb: fx.SignalProb,
+			Samples: trials, Seed: h.cfg.Seed, Workers: h.cfg.Workers, MaxGates: n,
+		}, nl, pl)
+		if err != nil {
+			return err
+		}
+		h.check(fx.Name, "chipmc/mean-vs-truth", KindStatistical, mc.Mean, truth.Mean,
+			Tolerance{Abs: mcZ * mc.MeanSE()},
+			fmt.Sprintf("%d trials, tolerance %g·SE_mean", mc.Samples, mcZ))
+		h.check(fx.Name, "chipmc/std-vs-truth", KindStatistical, mc.Std, truth.Std,
+			StdSETol(truth.Std, mc.Samples, mcZ),
+			fmt.Sprintf("%d trials, tolerance %g·SE_σ (normal theory)", mc.Samples, mcZ))
+		h.checkBehavior(fx.Name, "chipmc/quantile-order",
+			mc.Q05 < mc.Mean && mc.Mean < mc.Q95,
+			"sampled 5th/95th percentiles must bracket the mean")
+	}
+	return nil
+}
+
+// runGolden recomputes the E1–E6 experiment shapes and compares them to
+// the frozen values in testdata/golden.json.
+func (h *harness) runGolden(ctx context.Context) error {
+	frozen, err := FrozenGolden()
+	if err != nil {
+		return err
+	}
+	live, err := ComputeGolden(ctx, h.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	liveByName := make(map[string]GoldenEntry, len(live))
+	for _, e := range live {
+		liveByName[e.Name] = e
+	}
+	h.checkBehavior("", "golden/coverage", len(frozen) == len(live),
+		fmt.Sprintf("frozen entries %d, live entries %d — regenerate with `go generate ./internal/conformance`",
+			len(frozen), len(live)))
+	for _, fz := range frozen {
+		lv, ok := liveByName[fz.Name]
+		if !ok {
+			h.checkBehavior("", "golden/"+fz.Name, false,
+				"frozen entry no longer computed — regenerate the goldens")
+			continue
+		}
+		h.check("", "golden/"+fz.Name, KindGolden, lv.Value, fz.Value, fz.Tol, fz.Note)
+		if fz.Bound > 0 {
+			h.check("", "golden/"+fz.Name+"/envelope", KindApprox, lv.Value, 0,
+				Tolerance{Abs: fz.Bound},
+				fmt.Sprintf("recorded envelope: value must stay under %g", fz.Bound))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+)
+
+// Mutation perturbs one estimator moment before the checks run. It exists
+// so the harness can prove its own sensitivity: a verification gate that
+// passes everything verifies nothing.
+type Mutation struct {
+	// Target names the estimator to perturb: linear, truth, integral2d,
+	// polar, or naive.
+	Target string `json:"target"`
+	// Moment selects mean or std.
+	Moment string `json:"moment"`
+	// Factor multiplies the chosen moment (1.01 = a 1 % bias).
+	Factor float64 `json:"factor"`
+}
+
+// SelfCheckFactor is the perturbation the self-check injects: 1 %, the
+// sensitivity floor ISSUE-level acceptance demands the harness detect.
+const SelfCheckFactor = 1.01
+
+// SelfCheckResult records one mutation run: how many checks tripped.
+type SelfCheckResult struct {
+	Target string `json:"target"`
+	Moment string `json:"moment"`
+	// Failed counts the checks the mutated run failed; Caught is Failed > 0.
+	Failed int  `json:"failed"`
+	Caught bool `json:"caught"`
+}
+
+// mutationTargets is the full matrix of estimator moments the self-check
+// perturbs. The chip-level Monte Carlo is deliberately absent: its gates are
+// standard-error-sized, and at CI trial counts a 1 % bias sits below the SE
+// noise floor — a statistical gate cannot and should not resolve it.
+var mutationTargets = []string{"linear", "truth", "integral2d", "polar", "naive"}
+
+// MutationSelfCheck runs the lite harness once per (target, moment) with
+// that moment biased by 1 % and reports whether each run failed. Every
+// entry must come back Caught; AllCaught folds that for callers.
+func MutationSelfCheck(ctx context.Context, cfg Config) ([]SelfCheckResult, error) {
+	cfg = cfg.withDefaults()
+	cfg.lite = true
+	var out []SelfCheckResult
+	for _, target := range mutationTargets {
+		for _, moment := range []string{"mean", "std"} {
+			cfg.Mutation = &Mutation{Target: target, Moment: moment, Factor: SelfCheckFactor}
+			rep, err := Run(ctx, cfg)
+			if err != nil {
+				return out, fmt.Errorf("conformance: self-check %s/%s: %w", target, moment, err)
+			}
+			out = append(out, SelfCheckResult{
+				Target: target, Moment: moment,
+				Failed: rep.Failed, Caught: rep.Failed > 0,
+			})
+		}
+	}
+	return out, nil
+}
+
+// AllCaught reports whether every mutation run tripped at least one check.
+func AllCaught(results []SelfCheckResult) bool {
+	for _, r := range results {
+		if !r.Caught {
+			return false
+		}
+	}
+	return len(results) > 0
+}

@@ -1,0 +1,86 @@
+package conformance
+
+import (
+	"math"
+	"testing"
+)
+
+func TestToleranceAllowed(t *testing.T) {
+	cases := []struct {
+		tol  Tolerance
+		want float64
+		out  float64
+	}{
+		{Tolerance{Rel: 0.01}, 200, 2},
+		{Tolerance{Abs: 5}, 200, 5},
+		{Tolerance{Rel: 0.01, Abs: 5}, 200, 5},   // abs dominates small refs
+		{Tolerance{Rel: 0.01, Abs: 5}, 2000, 20}, // rel dominates large refs
+		{Tolerance{Rel: 0.01}, -200, 2},          // sign-free
+		{RelPct(2), 100, 2},                      // percent helper
+		{Exact(), 1e6, 1e-3},                     // ULP-class
+	}
+	for i, c := range cases {
+		if got := c.tol.Allowed(c.want); math.Abs(got-c.out) > 1e-12*math.Abs(c.out) {
+			t.Errorf("case %d: Allowed(%g) = %g, want %g", i, c.want, got, c.out)
+		}
+	}
+}
+
+func TestSETolerances(t *testing.T) {
+	// z·σ/√n for the mean, z·σ/√(2(n−1)) for the σ.
+	if got := MeanSETol(2, 400, 5).Abs; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MeanSETol = %g, want 0.5", got)
+	}
+	want := 5 * 2 / math.Sqrt(2*399)
+	if got := StdSETol(2, 400, 5).Abs; math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdSETol = %g, want %g", got, want)
+	}
+	// Degenerate trial counts give an infinite (never-passing-silently,
+	// always-passing-the-gate) allowance rather than a panic.
+	if got := MeanSETol(2, 0, 5).Abs; !math.IsInf(got, 1) {
+		t.Errorf("MeanSETol with 0 trials = %g, want +Inf", got)
+	}
+	if got := StdSETol(2, 1, 5).Abs; !math.IsInf(got, 1) {
+		t.Errorf("StdSETol with 1 trial = %g, want +Inf", got)
+	}
+}
+
+func TestRecordedEnvelope(t *testing.T) {
+	// Flat metrics pass through verbatim.
+	if b, ok := RecordedEnvelope("e6.simpl_err_worst", 0); !ok || b != 2.8 {
+		t.Errorf("e6 bound = %g, %v; want 2.8, true", b, ok)
+	}
+	if _, ok := RecordedEnvelope("nonexistent", 100); ok {
+		t.Error("unknown metric must report ok=false")
+	}
+	// At a recorded anchor the bound is the anchor times the headroom.
+	if b, _ := RecordedEnvelope("e4.envelope", 1024); math.Abs(b-3.7*2.0) > 1e-12 {
+		t.Errorf("e4 at anchor 1024 = %g, want %g", b, 3.7*2.0)
+	}
+	// Between anchors: strictly between the neighbours (log-log).
+	b, _ := RecordedEnvelope("e7.integral_err", 500)
+	if !(b < 1.5*1.5 && b > 0.44*1.5) {
+		t.Errorf("e7 at 500 = %g, want within (%g, %g)", b, 0.44*1.5, 1.5*1.5)
+	}
+	// Below the table: grows with the 1/√n trend.
+	small, _ := RecordedEnvelope("e7.integral_err", 4)
+	first, _ := RecordedEnvelope("e7.integral_err", 25)
+	if !(small > first) {
+		t.Errorf("extrapolated bound at n=4 (%g) should exceed the first anchor (%g)", small, first)
+	}
+	// Above the table: held flat.
+	big, _ := RecordedEnvelope("e7.integral_err", 1_000_000)
+	last, _ := RecordedEnvelope("e7.integral_err", 315844)
+	if big != last {
+		t.Errorf("bound above the table = %g, want flat %g", big, last)
+	}
+	// The interpolant is monotone non-increasing across the whole span.
+	prev := math.Inf(1)
+	for n := 10; n <= 400_000; n = n*3/2 + 1 {
+		b, _ := RecordedEnvelope("e4.envelope", n)
+		if b > prev+1e-12 {
+			t.Fatalf("envelope not monotone at n=%d: %g > %g", n, b, prev)
+		}
+		prev = b
+	}
+}

@@ -234,9 +234,15 @@ func (m *Model) EstimatePolar() (Result, error) {
 // EstimatePolarCtx is EstimatePolar with stage telemetry attached to ctx.
 func (m *Model) EstimatePolarCtx(ctx context.Context) (Result, error) {
 	w, h := m.Spec.W, m.Spec.H
-	dmax := m.Proc.WIDCorr.Range()
-	if math.IsInf(dmax, 1) {
-		dmax = m.Proc.EffectiveRange(1e-4)
+	// A pure-D2D process has no within-die term: C'(r) is identically zero
+	// and only the covariance floor survives, so the integration range is
+	// empty and the method always applies.
+	dmax := 0.0
+	if m.Proc.SigmaWID > 0 && m.Proc.WIDCorr != nil {
+		dmax = m.Proc.WIDCorr.Range()
+		if math.IsInf(dmax, 1) {
+			dmax = m.Proc.EffectiveRange(1e-4)
+		}
 	}
 	if dmax > math.Min(w, h) {
 		return Result{}, lkerr.New(lkerr.InvalidInput, "core.EstimatePolar",

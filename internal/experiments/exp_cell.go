@@ -46,6 +46,8 @@ func CellAccuracy(lib *charlib.Library) (*Table, error) {
 		pct(stats.Mean(meanErrs)), pct(meanMax))
 	t.AddNote("std error:  avg %s, max %s (paper: avg 3.1%%, max ≈ 10%%)",
 		pct(stats.Mean(stdErrs)), pct(stdMax))
+	t.AddClaim("e1.mean_err_max", 0, meanMax)
+	t.AddClaim("e1.std_err_max", 0, stdMax)
 	return t, nil
 }
 
@@ -114,6 +116,8 @@ func Fig2(cfg Fig2Config) (*Table, error) {
 	}
 	t.AddNote("max deviation of analytic mapping from y=x: %.4f (paper: near the y=x line)", maxDev)
 	t.AddNote("max MC-vs-analytic mismatch: %.4f (paper: good match)", maxMismatch)
+	t.AddClaim("e2.identity_dev", 0, maxDev)
+	t.AddClaim("e2.mc_mismatch", 0, maxMismatch)
 	return t, nil
 }
 

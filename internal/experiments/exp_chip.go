@@ -125,6 +125,7 @@ func Fig6(cfg Fig6Config) (*Table, error) {
 		envelope := math.Max(math.Max(meanPos, -meanNeg), math.Max(stdPos, -stdNeg))
 		lastEnvelope = envelope
 		t.AddRow(fmt.Sprintf("%d", n), pct(meanPos), pct(meanNeg), pct(stdPos), pct(stdNeg), pct(envelope))
+		t.AddClaim("e4.envelope", n, envelope)
 	}
 	t.AddNote("envelope at the largest size: %s (paper: 2.2%% at 11 236 gates)", pct(lastEnvelope))
 	t.AddNote("%d random circuits per size, mode %s", cfg.Reps, cfg.Mode)
@@ -196,6 +197,7 @@ func Table1(cfg Table1Config) (*Table, error) {
 			f(truth.Std), f(est.Std), pct(stdErr), pct(meanErr))
 	}
 	t.AddNote("worst σ error: %s (paper: 0.23%%–1.38%% across the table)", pct(worst))
+	t.AddClaim("e5.std_err_worst", 0, worst)
 	return t, nil
 }
 
@@ -249,10 +251,14 @@ func Fig7(cfg Fig7Config) (*Table, error) {
 		polarStd, polarErr := "n/a", "n/a"
 		if p, err := model.EstimatePolar(); err == nil {
 			polarStd = f(p.Std)
-			polarErr = pct(math.Abs(stats.RelErr(p.Std, lin.Std)))
+			pe := math.Abs(stats.RelErr(p.Std, lin.Std))
+			polarErr = pct(pe)
+			t.AddClaim("e7.polar_err", n, pe)
 		}
+		ie := math.Abs(stats.RelErr(integ.Std, lin.Std))
+		t.AddClaim("e7.integral_err", n, ie)
 		t.AddRow(fmt.Sprintf("%d", n), f(lin.Std), f(integ.Std),
-			pct(math.Abs(stats.RelErr(integ.Std, lin.Std))), polarStd, polarErr)
+			pct(ie), polarStd, polarErr)
 	}
 	t.AddNote("paper: error > 1%% below ~100 gates, < 0.01%% beyond 10⁴ gates")
 	t.AddNote("polar applies once the correlation range fits inside the die (n/a otherwise)")
@@ -321,6 +327,7 @@ func SimplifiedCorr(cfg SimplifiedCorrConfig) (*Table, error) {
 		}
 	}
 	t.AddNote("worst error: %s (paper: below 2.8%% in both configurations)", pct(worst))
+	t.AddClaim("e6.simpl_err_worst", 0, worst)
 	return t, nil
 }
 

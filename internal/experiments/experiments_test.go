@@ -392,3 +392,53 @@ func TestSignalPropagationDriver(t *testing.T) {
 		t.Errorf("empty config accepted")
 	}
 }
+
+// TestDriversEmitClaims pins the machine-checkable claim names each
+// experiment hands to the paperfigs conformance gate, and that every claim
+// stays under the envelope recorded for it.
+func TestDriversEmitClaims(t *testing.T) {
+	lib := iscasLib(t)
+	hist := smallHist(t)
+
+	claimNames := func(tb *Table) map[string]int {
+		m := map[string]int{}
+		for _, c := range tb.Claims {
+			m[c.Name]++
+			if c.Value < 0 {
+				t.Errorf("claim %s carries a negative magnitude %g", c.Name, c.Value)
+			}
+		}
+		return m
+	}
+
+	cell, err := CellAccuracy(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := claimNames(cell)
+	if got["e1.mean_err_max"] != 1 || got["e1.std_err_max"] != 1 {
+		t.Errorf("CellAccuracy claims = %v", got)
+	}
+
+	fig7, err := Fig7(Fig7Config{Lib: lib, Hist: hist, Sides: []int{5, 64}, Mode: core.Analytic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = claimNames(fig7)
+	if got["e7.integral_err"] != 2 {
+		t.Errorf("Fig7 must claim one integral error per size; got %v", got)
+	}
+	// Polar succeeds only when the correlation range fits the die: at n=4096
+	// it applies, at n=25 it does not.
+	if got["e7.polar_err"] != 1 {
+		t.Errorf("Fig7 polar claims = %v, want exactly the large size", got)
+	}
+
+	simpl, err := SimplifiedCorr(SimplifiedCorrConfig{Lib: lib, Hist: hist, Sides: []int{12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got = claimNames(simpl); got["e6.simpl_err_worst"] != 1 {
+		t.Errorf("SimplifiedCorr claims = %v", got)
+	}
+}

@@ -22,17 +22,35 @@ import (
 )
 
 // Table is a rendered experiment result: a titled grid of cells plus notes
-// comparing against the numbers the paper reports.
+// comparing against the numbers the paper reports and machine-checkable
+// claims for the conformance gate.
 type Table struct {
 	ID     string
 	Title  string
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	Claims []Claim
+}
+
+// Claim is a machine-checkable scalar an experiment asserts about itself,
+// named after the conformance envelope tables (e.g. "e4.envelope",
+// "e7.integral_err"). Values carry the metric's native unit — percent for
+// the *_err/envelope metrics, absolute for the e2 deviations. N is the
+// circuit size for size-dependent envelopes and 0 for size-free ones.
+type Claim struct {
+	Name  string  `json:"name"`
+	N     int     `json:"n,omitempty"`
+	Value float64 `json:"value"`
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddClaim records a checkable metric alongside the rendered rows.
+func (t *Table) AddClaim(name string, n int, value float64) {
+	t.Claims = append(t.Claims, Claim{Name: name, N: n, Value: value})
+}
 
 // AddNote appends a free-form note line.
 func (t *Table) AddNote(format string, args ...any) {

@@ -2,9 +2,62 @@ package netlist
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+
+	"leakest/internal/stats"
 )
+
+// iscasStyleSeeds grows the corpus with realistic circuit shapes: random
+// netlists matching the gate mixes of the ISCAS85 c432 and c499 benchmarks
+// (examples/iscas85), serialized through WriteBench. They are generated
+// in-package — importing internal/iscas here would cycle — and exercise the
+// parser on full-size well-formed inputs rather than only on malformed
+// scraps.
+func iscasStyleSeeds(f *testing.F) [][]byte {
+	arity := func(typ string) (int, error) {
+		n, ok := map[string]int{
+			"INV_X1": 1, "BUF_X1": 1, "NAND2_X1": 2, "NAND3_X1": 3,
+			"NOR2_X1": 2, "AND2_X1": 2, "OR2_X1": 2, "XOR2_X1": 2,
+		}[typ]
+		if !ok {
+			return 0, fmt.Errorf("unknown cell %s", typ)
+		}
+		return n, nil
+	}
+	mixes := []struct {
+		name    string
+		n, pis  int
+		weights map[string]float64
+	}{
+		// c432: 27-channel interrupt controller (160 gates, 36 inputs).
+		{"c432", 160, 36, map[string]float64{
+			"NAND2_X1": 79, "NAND3_X1": 20, "NOR2_X1": 19, "XOR2_X1": 18, "INV_X1": 24}},
+		// c499: 32-bit SEC circuit (202 gates, 41 inputs).
+		{"c499", 202, 41, map[string]float64{
+			"XOR2_X1": 104, "AND2_X1": 56, "OR2_X1": 2, "INV_X1": 40}},
+	}
+	var out [][]byte
+	tm := DefaultTechMap()
+	for _, mix := range mixes {
+		hist, err := stats.NewHistogram(mix.weights)
+		if err != nil {
+			f.Fatalf("%s histogram: %v", mix.name, err)
+		}
+		rng := stats.NewRNG(20070604, "fuzz/"+mix.name)
+		nl, err := RandomCircuit(rng, mix.name, mix.n, mix.pis, hist, arity)
+		if err != nil {
+			f.Fatalf("%s circuit: %v", mix.name, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBench(&buf, nl, tm); err != nil {
+			f.Fatalf("%s serialize: %v", mix.name, err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
+}
 
 // FuzzReadBench asserts the .bench parser is total: arbitrary input must
 // either return an error or produce a structurally valid netlist — never
@@ -32,6 +85,9 @@ func FuzzReadBench(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
+	}
+	for _, s := range iscasStyleSeeds(f) {
+		f.Add(s)
 	}
 	tm := DefaultTechMap()
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,122 @@
+package spatial
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzProcessJSON asserts the Process wire format is total and stable:
+// arbitrary bytes either fail to parse or yield a process that survives a
+// marshal/unmarshal round trip unchanged.
+func FuzzProcessJSON(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"l_nominal_um":0.09,"sigma_d2d_um":0.0025,"sigma_wid_um":0.0025,"sigma_vt_v":0.03,"wid_corr":{"type":"truncexp","lambda":1000,"r":4000}}`,
+		`{"wid_corr":{"type":"exp","lambda":30}}`,
+		`{"wid_corr":{"type":"gauss","lambda":0.5}}`,
+		`{"wid_corr":{"type":"spherical","r":120}}`,
+		`{"wid_corr":{"type":"none"}}`,
+		`{"wid_corr":{"type":""}}`,
+		// Shapes the parser must reject: unknown type, non-positive and
+		// boundary-abusing lengths (JSON has no NaN, but 1e999 overflows).
+		`{"wid_corr":{"type":"bogus"}}`,
+		`{"wid_corr":{"type":"exp","lambda":0}}`,
+		`{"wid_corr":{"type":"exp","lambda":-1}}`,
+		`{"wid_corr":{"type":"truncexp","lambda":1e999,"r":1}}`,
+		`{"l_nominal_um":"not a number"}`,
+		`[1,2,3]`,
+		`null`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Process
+		if err := json.Unmarshal(data, &p); err != nil {
+			return
+		}
+		// A parsed correlation must be usable: the spec validation bounds
+		// its parameters, so Rho must stay within [0, 1] at any distance.
+		if p.WIDCorr != nil {
+			for _, d := range []float64{0, 1e-6, 1, 1e3, 1e12} {
+				rho := p.WIDCorr.Rho(d)
+				if math.IsNaN(rho) || rho < 0 || rho > 1 {
+					t.Fatalf("Rho(%g) = %g outside [0, 1] for %s", d, rho, p.WIDCorr.Name())
+				}
+			}
+			if r := p.WIDCorr.Range(); !(r > 0) {
+				t.Fatalf("Range() = %g, want positive (or +Inf)", r)
+			}
+		}
+		out, err := json.Marshal(&p)
+		if err != nil {
+			t.Fatalf("re-marshal of a parsed process failed: %v", err)
+		}
+		var back Process
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed to parse: %v\njson: %s", err, out)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("round trip changed the process:\n first: %+v\nsecond: %+v", p, back)
+		}
+	})
+}
+
+// FuzzCorrSpecBuild drives Build with raw field values — including the
+// NaN/Inf corners JSON cannot encode — and asserts a successful build
+// always yields a well-behaved correlation function.
+func FuzzCorrSpecBuild(f *testing.F) {
+	f.Add("exp", 30.0, 0.0)
+	f.Add("gauss", 0.5, 0.0)
+	f.Add("spherical", 0.0, 120.0)
+	f.Add("truncexp", 1000.0, 4000.0)
+	f.Add("truncexp", 1e-300, 1e300)
+	f.Add("none", 0.0, 0.0)
+	f.Add("exp", math.NaN(), 0.0)
+	f.Add("truncexp", math.Inf(1), 1.0)
+	f.Add("spherical", 0.0, -5.0)
+	f.Add("bogus", 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, typ string, lambda, r float64) {
+		spec := CorrSpec{Type: typ, Lambda: lambda, R: r}
+		c, err := spec.Build()
+		if err != nil {
+			return
+		}
+		if c == nil {
+			return // the "none" spec
+		}
+		if rho := c.Rho(0); math.Abs(rho-1) > 1e-12 {
+			t.Fatalf("Rho(0) = %g, want 1 for %s", rho, c.Name())
+		}
+		prev := math.Inf(1)
+		for _, d := range []float64{0, 1e-9, 1e-3, 1, 1e3, 1e9, 1e300} {
+			rho := c.Rho(d)
+			if math.IsNaN(rho) || rho < 0 || rho > 1 {
+				t.Fatalf("Rho(%g) = %g outside [0, 1] for %s", d, rho, c.Name())
+			}
+			if rho > prev+1e-12 {
+				t.Fatalf("Rho not non-increasing at d=%g for %s: %g > %g", d, c.Name(), rho, prev)
+			}
+			prev = rho
+		}
+		if rng := c.Range(); !(rng > 0) {
+			t.Fatalf("Range() = %g, want positive (or +Inf) for %s", rng, c.Name())
+		}
+		// A built function must serialize back to a spec that rebuilds to
+		// the identical function.
+		back, err := SpecOf(c)
+		if err != nil {
+			t.Fatalf("SpecOf(%s): %v", c.Name(), err)
+		}
+		c2, err := back.Build()
+		if err != nil {
+			t.Fatalf("rebuilding %s from its own spec: %v", c.Name(), err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("spec round trip changed the function: %#v vs %#v", c, c2)
+		}
+	})
+}

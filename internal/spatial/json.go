@@ -3,6 +3,7 @@ package spatial
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 )
 
 // CorrSpec is the serializable description of a correlation function.
@@ -30,27 +31,34 @@ func SpecOf(c CorrFunc) (CorrSpec, error) {
 	}
 }
 
+// positiveFinite guards spec parameters: NaN slips through a `<= 0` test
+// (every comparison with NaN is false) and +Inf lengths turn Rho into
+// exp(-0) surprises, so both are rejected alongside the non-positives.
+func positiveFinite(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1) && !math.IsNaN(v)
+}
+
 // Build constructs the correlation function described by the spec.
 func (s CorrSpec) Build() (CorrFunc, error) {
 	switch s.Type {
 	case "exp":
-		if s.Lambda <= 0 {
-			return nil, fmt.Errorf("spatial: exp spec needs lambda > 0")
+		if !positiveFinite(s.Lambda) {
+			return nil, fmt.Errorf("spatial: exp spec needs finite lambda > 0")
 		}
 		return ExpCorr{Lambda: s.Lambda}, nil
 	case "gauss":
-		if s.Lambda <= 0 {
-			return nil, fmt.Errorf("spatial: gauss spec needs lambda > 0")
+		if !positiveFinite(s.Lambda) {
+			return nil, fmt.Errorf("spatial: gauss spec needs finite lambda > 0")
 		}
 		return GaussCorr{Lambda: s.Lambda}, nil
 	case "spherical":
-		if s.R <= 0 {
-			return nil, fmt.Errorf("spatial: spherical spec needs r > 0")
+		if !positiveFinite(s.R) {
+			return nil, fmt.Errorf("spatial: spherical spec needs finite r > 0")
 		}
 		return SphericalCorr{R: s.R}, nil
 	case "truncexp":
-		if s.Lambda <= 0 || s.R <= 0 {
-			return nil, fmt.Errorf("spatial: truncexp spec needs lambda and r > 0")
+		if !positiveFinite(s.Lambda) || !positiveFinite(s.R) {
+			return nil, fmt.Errorf("spatial: truncexp spec needs finite lambda and r > 0")
 		}
 		return TruncatedExpCorr{Lambda: s.Lambda, R: s.R}, nil
 	case "none", "":

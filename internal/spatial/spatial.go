@@ -105,6 +105,11 @@ func (t TruncatedExpCorr) Rho(d float64) float64 {
 		return 0
 	}
 	tail := math.Exp(-t.R / t.Lambda)
+	if tail == 1 {
+		// R/λ underflowed: the decay is flat across the whole support (the
+		// λ → ∞ limit), and the generic form would divide 0 by 0.
+		return 1
+	}
 	return (math.Exp(-d/t.Lambda) - tail) / (1 - tail)
 }
 

@@ -1,0 +1,26 @@
+package stats
+
+import "math"
+
+// MeanSE returns the standard error of the sample mean of n observations
+// drawn from a distribution with standard deviation sigma: sigma/√n. It is
+// the natural tolerance unit for comparing a Monte-Carlo mean against an
+// analytic one.
+func MeanSE(sigma float64, n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return sigma / math.Sqrt(float64(n))
+}
+
+// StdSE returns the normal-theory standard error of the sample standard
+// deviation of n observations: sigma/√(2(n−1)). Heavy-tailed populations
+// (the lognormal chip totals, for instance) have a somewhat larger true
+// error, which callers absorb by widening the z multiplier rather than the
+// formula.
+func StdSE(sigma float64, n int) float64 {
+	if n <= 1 {
+		return math.Inf(1)
+	}
+	return sigma / math.Sqrt(2*float64(n-1))
+}

@@ -27,8 +27,15 @@ func PublishExpvar() {
 }
 
 // PromHandler serves the registry in the Prometheus text exposition format.
+// Only GET and HEAD are meaningful on a read-only exposition endpoint;
+// anything else gets 405 with the Allow header the RFC requires.
 func PromHandler(r *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
