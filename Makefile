@@ -47,6 +47,8 @@ race-parallel:
 # the single-design benchmarks at a fixed pool size (recorded in the
 # report); the results are bitwise identical either way. A failed `go test`
 # yields no benchmark lines, which benchjson turns back into a non-zero
-# exit.
+# exit. Set BENCHJSON_FLAGS to gate on wall-time regressions, e.g.
+# BENCHJSON_FLAGS="-budget Fig6=41s" (see cmd/benchjson).
+BENCHJSON_FLAGS ?=
 bench:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_leakest.json
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_leakest.json $(BENCHJSON_FLAGS)

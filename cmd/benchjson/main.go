@@ -6,6 +6,13 @@
 // custom b.ReportMetric values — to the -o path.
 //
 //	go test -bench=. -benchtime=1x -benchmem -run='^$' . | benchjson -o BENCH_leakest.json
+//
+// Repeatable -budget NAME=DURATION flags turn the report into a regression
+// gate: the run exits non-zero when the named benchmark's ns/op exceeds the
+// budget, or when a budgeted benchmark is missing from the input (a
+// silently skipped benchmark must not pass its gate).
+//
+//	... | benchjson -o BENCH_leakest.json -budget Fig6=41s -budget Table1=2s
 package main
 
 import (
@@ -15,8 +22,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // gateCounts maps benchmarks that exercise a single design to its gate
@@ -29,6 +38,65 @@ var gateCounts = map[string]int{
 	"TrueLeakageWorkers":   3512, // c7552
 	"FastTrueLeakage":      3512, // c7552
 	"Floorplan":            130000,
+	"ChipMCFFT":            10000,
+	"TruthClassed":         11236, // 106², Fig. 6's largest size
+}
+
+// budgets collects the repeatable -budget NAME=DURATION flags.
+type budgets map[string]time.Duration
+
+func (b budgets) String() string {
+	parts := make([]string, 0, len(b))
+	for name, d := range b {
+		parts = append(parts, name+"="+d.String())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (b budgets) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want NAME=DURATION, got %q", s)
+	}
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return err
+	}
+	if d <= 0 {
+		return fmt.Errorf("budget %q must be positive", s)
+	}
+	b[name] = d
+	return nil
+}
+
+// overBudget checks every parsed benchmark whose base name carries a budget
+// and returns one violation line per benchmark over its budget — plus one
+// per budgeted name that never appeared in the input.
+func overBudget(bs []Bench, bud budgets) []string {
+	var out []string
+	seen := make(map[string]bool, len(bud))
+	for _, b := range bs {
+		base := b.Name
+		if i := strings.IndexByte(base, '/'); i >= 0 {
+			base = base[:i]
+		}
+		limit, ok := bud[base]
+		if !ok {
+			continue
+		}
+		seen[base] = true
+		if got := time.Duration(b.NsPerOp); got > limit {
+			out = append(out, fmt.Sprintf("Benchmark%s took %s, over its %s budget", b.Name, got.Round(time.Millisecond), limit))
+		}
+	}
+	for name := range bud {
+		if !seen[name] {
+			out = append(out, fmt.Sprintf("Benchmark%s has a %s budget but did not run", name, bud[name]))
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Bench is one parsed benchmark result line.
@@ -114,6 +182,8 @@ func parseLine(line string) (Bench, bool) {
 
 func main() {
 	out := flag.String("o", "BENCH_leakest.json", "output path for the JSON report")
+	bud := budgets{}
+	flag.Var(bud, "budget", "fail when a benchmark exceeds its wall-time budget, e.g. Fig6=41s (repeatable)")
 	flag.Parse()
 
 	rep := Report{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
@@ -144,4 +214,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	if viols := overBudget(rep.Benchmarks, bud); len(viols) > 0 {
+		for _, v := range viols {
+			fmt.Fprintf(os.Stderr, "benchjson: %s\n", v)
+		}
+		os.Exit(1)
+	}
 }

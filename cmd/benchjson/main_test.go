@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+)
 
 func TestParseLine(t *testing.T) {
 	line := "BenchmarkEstimateLinear-8   \t       1\t  12345678 ns/op\t  4096 B/op\t     12 allocs/op\t  0.44 avg-mean-err-%"
@@ -70,5 +74,56 @@ func TestParseLineWithoutGateCount(t *testing.T) {
 	b, ok := parseLine("BenchmarkFig2-4 1 31944639 ns/op")
 	if !ok || b.Gates != 0 {
 		t.Errorf("b = %+v, ok = %v; want gates omitted", b, ok)
+	}
+}
+
+func TestBudgetFlagParsing(t *testing.T) {
+	b := budgets{}
+	if err := b.Set("Fig6=41s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set("Table1=1500ms"); err != nil {
+		t.Fatal(err)
+	}
+	if b["Fig6"] != 41*time.Second || b["Table1"] != 1500*time.Millisecond {
+		t.Errorf("budgets = %v", b)
+	}
+	for _, bad := range []string{"Fig6", "=41s", "Fig6=", "Fig6=-1s", "Fig6=0s", "Fig6=fast"} {
+		if err := b.Set(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	if got := b.String(); got != "Fig6=41s,Table1=1.5s" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestOverBudget(t *testing.T) {
+	bs := []Bench{
+		{Name: "Fig6", NsPerOp: 40e9},
+		{Name: "Table1", NsPerOp: 3e9},
+		{Name: "TrueLeakageWorkers/workers=4", NsPerOp: 9e9},
+	}
+	bud := budgets{
+		"Fig6":               41 * time.Second, // under
+		"Table1":             2 * time.Second,  // over
+		"TrueLeakageWorkers": 5 * time.Second,  // sub-benchmark over, keyed by base name
+		"ChipMCFFT":          10 * time.Second, // never ran
+	}
+	viols := overBudget(bs, bud)
+	if len(viols) != 3 {
+		t.Fatalf("violations = %v, want 3", viols)
+	}
+	joined := strings.Join(viols, "\n")
+	for _, want := range []string{"BenchmarkTable1 took", "BenchmarkTrueLeakageWorkers/workers=4 took", "BenchmarkChipMCFFT has a 10s budget but did not run"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "BenchmarkFig6") {
+		t.Errorf("under-budget benchmark flagged:\n%s", joined)
+	}
+	if viols := overBudget(bs, budgets{}); viols != nil {
+		t.Errorf("no budgets must mean no violations, got %v", viols)
 	}
 }

@@ -150,6 +150,7 @@ func main() {
 	methodFlag := flag.String("method", "auto", "estimator: auto|linear|integral|polar|naive")
 	truth := flag.Bool("truth", false, "late mode: also compute the O(n²) true leakage for comparison")
 	mc := flag.Int("mc", 0, "late mode: also run a full-chip Monte Carlo with this many samples")
+	samplerFlag := flag.String("sampler", "auto", "Monte-Carlo field sampler: auto|dense|fft")
 	vt := flag.Bool("vt", true, "apply the random-Vt mean correction")
 	seed := flag.Int64("seed", 1, "random seed (placement of -bench netlists)")
 	workers := flag.Int("workers", 0, "goroutines for the long loops; 0 = all cores, 1 = serial (results identical)")
@@ -228,6 +229,10 @@ func main() {
 	}
 	est.ApplyVtMean = *vt
 	est.Workers = *workers
+	est.Sampler, err = leakest.ParseSampler(*samplerFlag)
+	if err != nil {
+		fail("%v", err)
+	}
 
 	var design leakest.Design
 	var nl *leakest.Netlist

@@ -103,11 +103,30 @@ func ISCASNames() []string { return iscas.Names() }
 // MonteCarloResult summarizes a full-chip Monte-Carlo run.
 type MonteCarloResult = chipmc.Result
 
+// MCSampler selects how the Monte Carlo constructs the correlated
+// channel-length field per trial (see the Estimator.Sampler field).
+type MCSampler = chipmc.Sampler
+
+// The sampler choices: SamplerAuto picks per design, SamplerDense forces
+// the O(n³)-setup dense-Cholesky reference, SamplerFFT forces the
+// O(S log S) circulant-embedding grid sampler.
+const (
+	SamplerAuto  = chipmc.SamplerAuto
+	SamplerDense = chipmc.SamplerDense
+	SamplerFFT   = chipmc.SamplerFFT
+)
+
+// ParseSampler maps a flag-style name ("auto", "dense", "fft") to the
+// corresponding MCSampler, with a typed InvalidInput error on anything else.
+func ParseSampler(name string) (MCSampler, error) { return chipmc.ParseSampler(name) }
+
 // MonteCarlo samples the full-chip leakage distribution of a placed design
 // directly: a spatially correlated channel-length field is drawn per trial
 // and every gate's leakage is evaluated from its characterization curve.
-// It is limited to a few thousand gates (dense field factorization) and
-// serves as an independent ground truth for the analytic estimators.
+// Small designs use a dense field factorization; larger ones (up to
+// hundreds of thousands of gates) use the FFT grid sampler, per the
+// estimator's Sampler setting. It serves as an independent ground truth
+// for the analytic estimators.
 func (e *Estimator) MonteCarlo(nl *Netlist, pl *Placement, signalProb float64, samples int, seed int64) (MonteCarloResult, error) {
 	return e.MonteCarloContext(context.Background(), nl, pl, signalProb, samples, seed)
 }
@@ -115,8 +134,8 @@ func (e *Estimator) MonteCarlo(nl *Netlist, pl *Placement, signalProb float64, s
 // MonteCarloContext is MonteCarlo with cancellation: ctx is checked once
 // per covariance-assembly row and once per chip-level trial, so a cancel or
 // deadline stops the run within one check interval. Oversized designs
-// (beyond the dense-field gate limit) return a typed BudgetExceeded error
-// suggesting the analytic estimators.
+// (beyond the selected sampler's gate limit) return a typed BudgetExceeded
+// error suggesting the analytic estimators.
 func (e *Estimator) MonteCarloContext(ctx context.Context, nl *Netlist, pl *Placement, signalProb float64, samples int, seed int64) (res MonteCarloResult, err error) {
 	defer lkerr.RecoverInto(&err, "leakest.MonteCarlo")
 	return chipmc.RunContext(ctx, chipmc.Config{
@@ -126,13 +145,14 @@ func (e *Estimator) MonteCarloContext(ctx context.Context, nl *Netlist, pl *Plac
 		Samples:    samples,
 		Seed:       seed,
 		Workers:    e.Workers,
+		Sampler:    e.Sampler,
 	}, nl, pl)
 }
 
 // MonteCarloBudgeted is MonteCarloContext with an explicit gate budget:
 // designs larger than maxGates are refused up front with a typed
-// BudgetExceeded error naming the limit, instead of attempting the O(n³)
-// dense-field factorization. maxGates ≤ 0 selects the default limit.
+// BudgetExceeded error naming the limit, instead of attempting the field
+// construction. maxGates ≤ 0 selects the active sampler's default limit.
 func (e *Estimator) MonteCarloBudgeted(ctx context.Context, nl *Netlist, pl *Placement, signalProb float64, samples int, seed int64, maxGates int) (res MonteCarloResult, err error) {
 	defer lkerr.RecoverInto(&err, "leakest.MonteCarlo")
 	return chipmc.RunContext(ctx, chipmc.Config{
@@ -143,6 +163,7 @@ func (e *Estimator) MonteCarloBudgeted(ctx context.Context, nl *Netlist, pl *Pla
 		Seed:       seed,
 		MaxGates:   maxGates,
 		Workers:    e.Workers,
+		Sampler:    e.Sampler,
 	}, nl, pl)
 }
 

@@ -6,13 +6,25 @@
 // characterization curve, and accumulates the total-chip leakage
 // distribution. It validates the O(n²) "true leakage" analytics beyond the
 // paper's own validation and powers the Vt-ablation experiment.
+//
+// Two field samplers are available. The dense path factorizes the full n×n
+// covariance (O(n³) setup, O(n²) per trial) and is the historical,
+// bitwise-frozen reference. The FFT path exploits the regular placement
+// grid: the stationary WID kernel is circulant-embedded on a torus
+// (randvar.GridSampler), so setup is one 2-D FFT and each trial costs
+// O(S log S) in the torus size S — raising the practical gate budget from
+// thousands to hundreds of thousands while sampling the same covariance at
+// every grid lag (exactly when the embedding torus affords the kernel's
+// support, within a hard-capped clamp bias otherwise; see
+// randvar.GridSampler).
 package chipmc
 
 import (
 	"context"
-	"fmt"
 	"math"
+	"math/rand"
 	"sort"
+	"time"
 
 	"leakest/internal/charlib"
 	"leakest/internal/fault"
@@ -29,8 +41,57 @@ import (
 
 // DefaultMaxGates is the default bound on the dense-Cholesky field
 // construction; beyond this the O(n³) factorization is impractical and the
-// analytic estimators are the intended tool. Override with Config.MaxGates.
+// FFT sampler (or the analytic estimators) is the intended tool. Override
+// with Config.MaxGates.
 const DefaultMaxGates = 4000
+
+// DefaultMaxGatesFFT is the default gate bound for the FFT sampler, whose
+// per-trial cost grows as S log S in the torus size rather than n². The
+// limit keeps worst-case torus scratch (16 bytes/point per worker) and trial
+// time predictable. Override with Config.MaxGates.
+const DefaultMaxGatesFFT = 200000
+
+// Sampler selects how the correlated channel-length field is drawn.
+type Sampler int
+
+const (
+	// SamplerAuto picks SamplerDense for designs within DefaultMaxGates and
+	// SamplerFFT beyond, falling back to dense if the grid embedding fails
+	// on a small design.
+	SamplerAuto Sampler = iota
+	// SamplerDense forces the dense-Cholesky field (the historical
+	// reference path; bitwise-frozen results).
+	SamplerDense
+	// SamplerFFT forces the circulant-embedding grid sampler.
+	SamplerFFT
+)
+
+// String implements fmt.Stringer with the CLI spellings.
+func (s Sampler) String() string {
+	switch s {
+	case SamplerAuto:
+		return "auto"
+	case SamplerDense:
+		return "dense"
+	case SamplerFFT:
+		return "fft"
+	}
+	return "invalid"
+}
+
+// ParseSampler maps the CLI spellings onto Sampler values.
+func ParseSampler(name string) (Sampler, error) {
+	switch name {
+	case "auto":
+		return SamplerAuto, nil
+	case "dense":
+		return SamplerDense, nil
+	case "fft":
+		return SamplerFFT, nil
+	}
+	return 0, lkerr.New(lkerr.InvalidInput, "chipmc.ParseSampler",
+		"unknown sampler %q (want auto, dense, or fft)", name)
+}
 
 // Config controls a full-chip Monte-Carlo run.
 type Config struct {
@@ -50,9 +111,12 @@ type Config struct {
 	// gate are lumped into one factor), which is conservative for the
 	// ablation that shows the contribution is negligible.
 	IncludeVt bool
-	// MaxGates bounds the gate count the dense field sampler will accept
-	// (default DefaultMaxGates). Exceeding it is a typed BudgetExceeded
-	// error, not a crash: the analytic estimators handle larger designs.
+	// Sampler selects the field construction (default SamplerAuto).
+	Sampler Sampler
+	// MaxGates bounds the gate count the selected sampler will accept
+	// (default DefaultMaxGates for the dense path, DefaultMaxGatesFFT
+	// otherwise). Exceeding it is a typed BudgetExceeded error, not a
+	// crash: the analytic estimators handle larger designs.
 	MaxGates int
 	// Workers is the goroutine count sampling trials: 0 selects
 	// runtime.GOMAXPROCS(0), 1 forces the serial path. Results are bitwise
@@ -92,13 +156,145 @@ type gateState struct {
 	cum    []float64
 }
 
+// nvt is n·vT of the default 90 nm card, the subthreshold slope factor of
+// the Vt-fluctuation leakage multiplier.
+const nvt = 1.4 * 0.0259
+
+// trialBuf is one worker's private trial state: a reusable PRNG (reseeded
+// per trial from the run's Stream, which reproduces the historical
+// per-trial streams bitwise with zero allocations) plus the sampling
+// scratch of whichever field path is active.
+type trialBuf struct {
+	rng   *rand.Rand
+	ls    []float64 // per-gate channel lengths
+	z     []float64 // dense-path standard-normal scratch
+	field []float64 // FFT-path per-site field
+	sc    *randvar.GridScratch
+}
+
+// trialRunner holds everything a chip-level trial needs, set up once per
+// run: gate state tables, the field sampler (exactly one of dense/grid is
+// non-nil), the frozen RNG stream prefix, and per-worker buffers.
+type trialRunner struct {
+	gates  []gateState
+	sites  []int
+	stream stats.Stream
+	dense  *randvar.MVNSampler
+	grid   *randvar.GridSampler
+	// sigmaVt is the Vt-fluctuation sigma when the ablation is enabled, 0
+	// otherwise.
+	sigmaVt float64
+	bufs    []trialBuf
+}
+
+// warm allocates a worker's buffers on its first trial; everything after is
+// allocation-free (guarded by TestTrialBodyAllocs).
+func (r *trialRunner) warm(b *trialBuf) {
+	n := len(r.gates)
+	b.rng = rand.New(rand.NewSource(1))
+	b.ls = make([]float64, n)
+	if r.dense != nil {
+		b.z = make([]float64, n)
+	} else {
+		b.field = make([]float64, r.grid.Sites())
+		b.sc = r.grid.NewScratch()
+	}
+}
+
+// runTrial executes one chip-level trial on worker w and returns the chip
+// total. The draw order — field normals first, then per-gate state and Vt
+// draws — is part of the determinism contract and matches the historical
+// implementation exactly on the dense path.
+func (r *trialRunner) runTrial(w, trial int) (float64, error) {
+	b := &r.bufs[w]
+	if b.rng == nil {
+		r.warm(b)
+	}
+	rng := b.rng
+	rng.Seed(r.stream.SeedFor(trial))
+	ls := b.ls
+	if r.dense != nil {
+		r.dense.SampleInto(rng, b.z, ls)
+	} else {
+		if err := r.grid.SampleInto(rng, b.sc, b.field); err != nil {
+			return 0, err
+		}
+		for g, s := range r.sites {
+			ls[g] = b.field[s]
+		}
+	}
+	total := 0.0
+	for g := range r.gates {
+		gs := &r.gates[g]
+		st := gs.states[0]
+		if len(gs.states) > 1 {
+			u := rng.Float64()
+			idx := sort.SearchFloat64s(gs.cum, u)
+			if idx >= len(gs.states) {
+				idx = len(gs.states) - 1
+			}
+			st = gs.states[idx]
+		}
+		x := st.Leakage(ls[g])
+		if r.sigmaVt > 0 {
+			x *= math.Exp(-rng.NormFloat64() * r.sigmaVt / nvt)
+		}
+		total += x
+	}
+	return total, nil
+}
+
 // Run executes the Monte Carlo for the placed netlist.
 func Run(cfg Config, nl *netlist.Netlist, pl *placement.Placement) (Result, error) {
 	return RunContext(context.Background(), cfg, nl, pl)
 }
 
+// resolveSampler picks the effective sampler and gate budget: explicit
+// sampler choices use their own default budget, auto routes small designs
+// to the frozen dense path and large ones to the FFT path, and an explicit
+// Config.MaxGates overrides the budget in every mode.
+func resolveSampler(cfg Config, n int) (use Sampler, maxGates int, err error) {
+	switch cfg.Sampler {
+	case SamplerAuto, SamplerDense, SamplerFFT:
+	default:
+		return 0, 0, lkerr.New(lkerr.InvalidInput, "chipmc.Run",
+			"invalid Sampler %d", int(cfg.Sampler))
+	}
+	use = cfg.Sampler
+	if use == SamplerAuto {
+		if n <= DefaultMaxGates {
+			use = SamplerDense
+		} else {
+			use = SamplerFFT
+		}
+	}
+	maxGates = cfg.MaxGates
+	if maxGates == 0 {
+		if cfg.Sampler == SamplerDense {
+			maxGates = DefaultMaxGates
+		} else {
+			maxGates = DefaultMaxGatesFFT
+		}
+	}
+	return use, maxGates, nil
+}
+
+// timeRun observes estimate_duration_seconds{method="chipmc",sampler=...}
+// when metrics are enabled, mirroring the analytic estimators' timings so
+// dashboards can compare methods and samplers directly.
+func timeRun(sampler Sampler) func() {
+	if !telemetry.MetricsOn() {
+		return func() {}
+	}
+	start := time.Now()
+	name := telemetry.Label(
+		telemetry.Label("estimate_duration_seconds", "method", "chipmc"),
+		"sampler", sampler.String())
+	return func() { telemetry.ObserveSeconds(name, time.Since(start).Seconds()) }
+}
+
 // RunContext is Run with cancellation: ctx is checked once per row while
-// assembling the n×n field covariance and once per chip-level trial, so a
+// assembling the dense field covariance and once per chip-level trial, so a
 // cancel stops the run within one check interval.
 func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placement.Placement) (Result, error) {
 	const op = "chipmc.Run"
@@ -106,15 +302,15 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	if n == 0 {
 		return Result{}, lkerr.New(lkerr.InvalidInput, op, "empty netlist")
 	}
-	maxGates := cfg.MaxGates
-	if maxGates == 0 {
-		maxGates = DefaultMaxGates
+	use, maxGates, err := resolveSampler(cfg, n)
+	if err != nil {
+		return Result{}, err
 	}
 	if n > maxGates {
 		return Result{}, lkerr.New(lkerr.BudgetExceeded, op,
-			"%d gates exceed the dense-field limit MaxGates=%d (O(n³) factorization); "+
+			"%d gates exceed the %s-sampler limit MaxGates=%d; "+
 				"use the analytic estimators (Estimate / TrueLeakage) for designs this large",
-			n, maxGates)
+			n, use, maxGates)
 	}
 	if len(pl.Site) != n {
 		return Result{}, lkerr.New(lkerr.InvalidInput, op,
@@ -141,78 +337,49 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 		return Result{}, lkerr.New(lkerr.InvalidInput, op, "%d samples too few", cfg.Samples)
 	}
 
-	// Per-gate state tables.
-	gates := make([]gateState, n)
-	for g, gate := range nl.Gates {
-		cc, err := cfg.Lib.Cell(gate.Type)
-		if err != nil {
-			return Result{}, lkerr.Wrap(lkerr.InvalidInput, op, err)
-		}
-		gs := gateState{}
-		cumP := 0.0
-		for i := range cc.States {
-			p := cc.StateProb(cc.States[i].State, cfg.SignalProb)
-			if p == 0 {
-				continue
-			}
-			cumP += p
-			gs.states = append(gs.states, &cc.States[i])
-			gs.cum = append(gs.cum, cumP)
-		}
-		if len(gs.states) == 0 {
-			return Result{}, lkerr.New(lkerr.InvalidInput, op,
-				"gate %d (%s) has no reachable states", g, gate.Type)
-		}
-		gs.cum[len(gs.cum)-1] = 1
-		gates[g] = gs
+	gates, err := buildGateStates(cfg, nl)
+	if err != nil {
+		return Result{}, err
 	}
 
-	// Channel-length covariance over gate positions:
-	// Σ_ab = σ_d2d² + σ_wid²·ρ_wid(d_ab), with the total variance on the
-	// diagonal.
-	vd := cfg.Proc.SigmaD2D * cfg.Proc.SigmaD2D
-	vw := cfg.Proc.SigmaWID * cfg.Proc.SigmaWID
-	endAssemble := telemetry.StartSpan(ctx, "chipmc.assemble")
-	cov := linalg.NewMatrix(n, n)
-	for a := 0; a < n; a++ {
-		if err := lkerr.FromContext(ctx, op); err != nil {
-			return Result{}, err
+	runner := &trialRunner{gates: gates, stream: stats.NewStream(cfg.Seed, "chipmc/"+nl.Name+"/trial#")}
+	if cfg.IncludeVt {
+		runner.sigmaVt = cfg.Proc.SigmaVt
+	}
+	if use == SamplerFFT {
+		endSetup := telemetry.StartSpan(ctx, "chipmc.fft_setup")
+		gs, gerr := randvar.NewGridSampler(cfg.Proc, pl.Grid)
+		endSetup()
+		switch {
+		case gerr == nil:
+			runner.grid = gs
+			runner.sites = pl.Site
+		case cfg.Sampler == SamplerAuto && cfg.MaxGates != 0 && n <= cfg.MaxGates:
+			// The embedding failed, but the caller's explicit gate budget
+			// admits the dense path: degrade gracefully and record it.
+			telemetry.Add("chipmc_sampler_fallback_total", 1)
+			use = SamplerDense
+		default:
+			return Result{}, lkerr.Wrap(lkerr.Numerical, op, gerr)
 		}
-		cov.Set(a, a, vd+vw)
-		for b := a + 1; b < n; b++ {
-			rho := 0.0
-			if vw > 0 {
-				rho = cfg.Proc.WIDCorr.Rho(pl.Dist(a, b))
-			}
-			c := vd + vw*rho
-			cov.Set(a, b, c)
-			cov.Set(b, a, c)
+	}
+	if use == SamplerDense {
+		dense, derr := newDenseSampler(ctx, cfg, n, pl)
+		if derr != nil {
+			return Result{}, derr
 		}
+		runner.dense = dense
 	}
-	endAssemble()
-	mean := make([]float64, n)
-	for i := range mean {
-		mean[i] = cfg.Proc.LNominal
-	}
-	endChol := telemetry.StartSpan(ctx, "chipmc.cholesky")
-	sampler, err := randvar.NewMVNSampler(mean, cov)
-	endChol()
-	if err != nil {
-		// Factorization failures (non-PD covariance, NaN factor) are
-		// numerical; the classification survives if already typed.
-		return Result{}, lkerr.Wrap(lkerr.Numerical, op, err)
-	}
+	defer timeRun(use)()
 
 	// Trial fan-out. Each trial draws from its own PRNG stream keyed by
 	// (Seed, trial index), so the sampled fields — and therefore every
 	// moment below — are bitwise identical at any worker count. Workers
 	// only race on disjoint totals[trial] slots and on their private
-	// ls/z scratch; the Welford reduction runs serially afterwards in
+	// trialBuf scratch; the Welford reduction runs serially afterwards in
 	// trial order.
-	const nvt = 1.4 * 0.0259 // n·vT of the default 90 nm card
 	workers := parallel.Resolve(cfg.Workers, cfg.Samples)
-	lsBuf := make([][]float64, workers)
-	zBuf := make([][]float64, workers)
+	runner.bufs = make([]trialBuf, workers)
 	totals := make([]float64, cfg.Samples)
 	endTrials := telemetry.StartSpan(ctx, "chipmc.trials")
 	rep := telemetry.StartProgress(ctx, "chipmc.trials", int64(cfg.Samples))
@@ -224,30 +391,9 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	err = parallel.ForEach(ctx, op, workers, cfg.Samples, func(w, trial int) error {
 		trialsC.Inc()
 		fault.Hit(fault.SiteChipMCTrial)
-		if lsBuf[w] == nil {
-			lsBuf[w] = make([]float64, n)
-			zBuf[w] = make([]float64, n)
-		}
-		ls := lsBuf[w]
-		rng := stats.NewRNG(cfg.Seed, fmt.Sprintf("chipmc/%s/trial#%d", nl.Name, trial))
-		sampler.SampleInto(rng, zBuf[w], ls)
-		total := 0.0
-		for g := 0; g < n; g++ {
-			gs := &gates[g]
-			st := gs.states[0]
-			if len(gs.states) > 1 {
-				u := rng.Float64()
-				idx := sort.SearchFloat64s(gs.cum, u)
-				if idx >= len(gs.states) {
-					idx = len(gs.states) - 1
-				}
-				st = gs.states[idx]
-			}
-			x := st.Leakage(ls[g])
-			if cfg.IncludeVt && cfg.Proc.SigmaVt > 0 {
-				x *= math.Exp(-rng.NormFloat64() * cfg.Proc.SigmaVt / nvt)
-			}
-			total += x
+		total, terr := runner.runTrial(w, trial)
+		if terr != nil {
+			return lkerr.Wrap(lkerr.Numerical, op, terr)
 		}
 		totals[trial] = fault.Corrupt(fault.SiteChipMCTrial, total)
 		tick.Tick()
@@ -283,4 +429,75 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 		return Result{}, err
 	}
 	return res, nil
+}
+
+// buildGateStates precomputes each gate's reachable states and cumulative
+// state probabilities for inverse-CDF sampling.
+func buildGateStates(cfg Config, nl *netlist.Netlist) ([]gateState, error) {
+	const op = "chipmc.Run"
+	gates := make([]gateState, len(nl.Gates))
+	for g, gate := range nl.Gates {
+		cc, err := cfg.Lib.Cell(gate.Type)
+		if err != nil {
+			return nil, lkerr.Wrap(lkerr.InvalidInput, op, err)
+		}
+		gs := gateState{}
+		cumP := 0.0
+		for i := range cc.States {
+			p := cc.StateProb(cc.States[i].State, cfg.SignalProb)
+			if p == 0 {
+				continue
+			}
+			cumP += p
+			gs.states = append(gs.states, &cc.States[i])
+			gs.cum = append(gs.cum, cumP)
+		}
+		if len(gs.states) == 0 {
+			return nil, lkerr.New(lkerr.InvalidInput, op,
+				"gate %d (%s) has no reachable states", g, gate.Type)
+		}
+		gs.cum[len(gs.cum)-1] = 1
+		gates[g] = gs
+	}
+	return gates, nil
+}
+
+// newDenseSampler assembles the n×n channel-length covariance over gate
+// positions — Σ_ab = σ_d2d² + σ_wid²·ρ_wid(d_ab), total variance on the
+// diagonal — and factorizes it.
+func newDenseSampler(ctx context.Context, cfg Config, n int, pl *placement.Placement) (*randvar.MVNSampler, error) {
+	const op = "chipmc.Run"
+	vd := cfg.Proc.SigmaD2D * cfg.Proc.SigmaD2D
+	vw := cfg.Proc.SigmaWID * cfg.Proc.SigmaWID
+	endAssemble := telemetry.StartSpan(ctx, "chipmc.assemble")
+	cov := linalg.NewMatrix(n, n)
+	for a := 0; a < n; a++ {
+		if err := lkerr.FromContext(ctx, op); err != nil {
+			return nil, err
+		}
+		cov.Set(a, a, vd+vw)
+		for b := a + 1; b < n; b++ {
+			rho := 0.0
+			if vw > 0 {
+				rho = cfg.Proc.WIDCorr.Rho(pl.Dist(a, b))
+			}
+			c := vd + vw*rho
+			cov.Set(a, b, c)
+			cov.Set(b, a, c)
+		}
+	}
+	endAssemble()
+	mean := make([]float64, n)
+	for i := range mean {
+		mean[i] = cfg.Proc.LNominal
+	}
+	endChol := telemetry.StartSpan(ctx, "chipmc.cholesky")
+	sampler, err := randvar.NewMVNSampler(mean, cov)
+	endChol()
+	if err != nil {
+		// Factorization failures (non-PD covariance, NaN factor) are
+		// numerical; the classification survives if already typed.
+		return nil, lkerr.Wrap(lkerr.Numerical, op, err)
+	}
+	return sampler, nil
 }

@@ -155,12 +155,20 @@ func TestGateCountGuard(t *testing.T) {
 	}
 	grid, _ := placement.AutoGrid(DefaultMaxGates + 1)
 	pl, _ := placement.RowMajor(grid, DefaultMaxGates+1)
-	_, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5}, big, pl)
+	// The dense sampler keeps its historical O(n³) budget; auto now routes
+	// designs this size to the FFT path instead of refusing them.
+	_, err := Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, Sampler: SamplerDense}, big, pl)
 	if err == nil {
-		t.Fatalf("oversized netlist accepted")
+		t.Fatalf("oversized netlist accepted by the dense sampler")
 	}
 	if !errors.Is(err, lkerr.ErrBudgetExceeded) {
 		t.Errorf("gate-count guard returned %v, want BudgetExceeded", err)
+	}
+	// The FFT sampler has a budget too.
+	_, err = Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, Sampler: SamplerFFT,
+		MaxGates: DefaultMaxGates}, big, pl)
+	if !errors.Is(err, lkerr.ErrBudgetExceeded) {
+		t.Errorf("FFT gate-count guard returned %v, want BudgetExceeded", err)
 	}
 	// The configured limit overrides the default, and the error names it.
 	_, err = Run(Config{Lib: lib, Proc: proc, SignalProb: 0.5, MaxGates: 8}, big, pl)

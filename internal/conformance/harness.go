@@ -272,6 +272,26 @@ func (h *harness) runPlaced(ctx context.Context, fx Fixture, m *core.Model) erro
 		h.checkBehavior(fx.Name, "chipmc/quantile-order",
 			mc.Q05 < mc.Mean && mc.Mean < mc.Q95,
 			"sampled 5th/95th percentiles must bracket the mean")
+
+		// The FFT grid sampler is an independent construction of the same
+		// field distribution; its moments must agree with the dense referee
+		// within the combined standard errors of two independent MC runs.
+		fftmc, err := chipmc.RunContext(ctx, chipmc.Config{
+			Lib: h.lib, Proc: fx.Proc, SignalProb: fx.SignalProb,
+			Samples: trials, Seed: h.cfg.Seed, Workers: h.cfg.Workers,
+			MaxGates: n, Sampler: chipmc.SamplerFFT,
+		}, nl, pl)
+		if err != nil {
+			return err
+		}
+		meanSE := math.Hypot(mc.MeanSE(), fftmc.MeanSE())
+		stdSE := math.Hypot(stats.StdSE(mc.Std, mc.Samples), stats.StdSE(fftmc.Std, fftmc.Samples))
+		h.check(fx.Name, "chipmc/fft-mean-vs-dense", KindStatistical, fftmc.Mean, mc.Mean,
+			Tolerance{Abs: mcZ * meanSE},
+			fmt.Sprintf("circulant-embedding sampler vs dense-Cholesky referee, %d trials each", trials))
+		h.check(fx.Name, "chipmc/fft-std-vs-dense", KindStatistical, fftmc.Std, mc.Std,
+			Tolerance{Abs: mcZ * stdSE},
+			"independent samplers of the same field covariance must match in σ")
 	}
 	return nil
 }

@@ -23,10 +23,34 @@ func TrueStats(m *Model, nl *netlist.Netlist, pl *placement.Placement) (Result, 
 	return TrueStatsCtx(context.Background(), m, nl, pl)
 }
 
+// maxClassTableEntries bounds the total size of the distance-class kernel
+// tables (float64 entries across all type pairs): 2^24 entries are 128 MiB,
+// past which TrueStatsCtx silently keeps the untabulated per-pair loop.
+const maxClassTableEntries = 1 << 24
+
 // TrueStatsCtx is TrueStats with cancellation: the O(n²) pair loop checks
 // ctx once per outer row — where it also reports progress — so a cancel
 // lands within one row's work.
+//
+// When the placement grid has far fewer (|Δrow|, |Δcol|) lag classes than
+// gate pairs — the usual case — the per-pair kernel work (distance, total
+// correlation, spline evaluation) is precomputed once per class and type
+// pair, turning the O(n²) inner loop into an indexed table lookup. The
+// per-pair accumulation order is unchanged, and at the default power-of-two
+// site pitch the class distances are bitwise equal to the per-pair
+// distances, so the tabulated sum is bitwise identical to the historical
+// loop (guarded by tests and the conformance ULP identities).
 func TrueStatsCtx(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placement.Placement) (Result, error) {
+	n := len(nl.Gates)
+	classes := int64(pl.Grid.Rows) * int64(pl.Grid.Cols)
+	pairs := int64(n) * int64(n-1) / 2
+	useTables := classes <= pairs/4 && classes <= maxClassTableEntries
+	return trueStats(ctx, m, nl, pl, useTables)
+}
+
+// trueStats is TrueStatsCtx with the class-table decision explicit, so the
+// equivalence of the two inner loops is directly testable.
+func trueStats(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placement.Placement, useTables bool) (Result, error) {
 	const op = "core.TrueStats"
 	defer telemetry.StartSpan(ctx, "core.truth")()
 	n := len(nl.Gates)
@@ -74,6 +98,8 @@ func TrueStatsCtx(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placem
 	gt := make([]int, n)
 	xs := make([]float64, n)
 	ys := make([]float64, n)
+	rs := make([]int, n)
+	cs := make([]int, n)
 	for g, gate := range nl.Gates {
 		mu, sigma, err := m.CellStats(gate.Type)
 		if err != nil {
@@ -83,34 +109,72 @@ func TrueStatsCtx(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placem
 		variance += sigma * sigma
 		gt[g] = tIdx[gate.Type]
 		xs[g], ys[g] = pl.Pos(g)
+		rs[g], cs[g] = pl.RowCol(g)
+	}
+
+	// Distance-class kernel tables: one cov value per (type pair, lag
+	// class), replacing the per-pair Hypot/TotalCorr/spline-eval chain with
+	// an indexed load.
+	var classTabs [][][]float64
+	if useTables {
+		nt := int64(len(types)) * int64(len(types)+1) / 2
+		if int64(pl.Grid.Rows)*int64(pl.Grid.Cols)*nt > maxClassTableEntries {
+			useTables = false
+		}
+	}
+	if useTables {
+		endPre := telemetry.StartSpan(ctx, "truth.class_precompute")
+		classTabs = buildClassTables(m, pl.Grid, pairSpl)
+		endPre()
 	}
 
 	// Pairwise covariances (Eq. 15's off-diagonal part). The upper
 	// triangle is sharded by row: each row a owns slot rowVar[a] and sums
 	// its b > a pairs left to right exactly as the serial loop did, and
 	// the rows are merged in index order below, so the result is bitwise
-	// identical at any worker count. The splines and per-gate tables are
-	// read-only here (the model caches were warmed above).
+	// identical at any worker count. The splines, class tables, and
+	// per-gate tables are read-only here (the model caches were warmed
+	// above).
+	cols := pl.Grid.Cols
 	rep := telemetry.StartProgress(ctx, "core.truth", int64(n))
 	tick := parallel.NewTicker(rep)
 	rowVar := make([]float64, n)
 	err := parallel.ForEach(ctx, op, m.Workers, n, func(_, a int) error {
 		fault.Hit(fault.SiteTruthRow)
-		xa, ya, ta := xs[a], ys[a], gt[a]
-		row := pairSpl[ta]
 		sum := 0.0
-		for b := a + 1; b < n; b++ {
-			d := math.Hypot(xa-xs[b], ya-ys[b])
-			rho := m.Proc.TotalCorr(d)
-			if rho <= 0 {
-				continue
+		if classTabs != nil {
+			ra, ca := rs[a], cs[a]
+			row := classTabs[gt[a]]
+			for b := a + 1; b < n; b++ {
+				dr := ra - rs[b]
+				if dr < 0 {
+					dr = -dr
+				}
+				dc := ca - cs[b]
+				if dc < 0 {
+					dc = -dc
+				}
+				cov := row[gt[b]][dr*cols+dc]
+				if cov > 0 {
+					sum += 2 * cov
+				}
 			}
-			if rho > 1 {
-				rho = 1
-			}
-			cov := row[gt[b]].Eval(rho)
-			if cov > 0 {
-				sum += 2 * cov
+		} else {
+			xa, ya := xs[a], ys[a]
+			row := pairSpl[gt[a]]
+			for b := a + 1; b < n; b++ {
+				d := math.Hypot(xa-xs[b], ya-ys[b])
+				rho := m.Proc.TotalCorr(d)
+				if rho <= 0 {
+					continue
+				}
+				if rho > 1 {
+					rho = 1
+				}
+				cov := row[gt[b]].Eval(rho)
+				if cov > 0 {
+					sum += 2 * cov
+				}
 			}
 		}
 		rowVar[a] = sum
@@ -132,6 +196,46 @@ func TrueStatsCtx(ctx context.Context, m *Model, nl *netlist.Netlist, pl *placem
 		Std:    math.Sqrt(variance),
 		Method: "true-n2",
 	}.checkFinite(op)
+}
+
+// buildClassTables precomputes, for every (|Δrow|, |Δcol|) lag class of the
+// grid and every type pair, the pairwise leakage covariance the inner loop
+// would otherwise derive per pair: ρ = TotalCorr(LagDist), clamped to at
+// most 1, then the pair spline at ρ. Classes with non-positive ρ keep a
+// zero entry, which the accumulation skips exactly like the historical
+// `continue`. The shared ρ values are computed once per class; each
+// unordered type pair shares one table.
+func buildClassTables(m *Model, grid placement.Grid, pairSpl [][]*quad.Spline) [][][]float64 {
+	nc := grid.Rows * grid.Cols
+	rhos := make([]float64, nc)
+	for dr := 0; dr < grid.Rows; dr++ {
+		for dc := 0; dc < grid.Cols; dc++ {
+			rho := m.Proc.TotalCorr(grid.LagDist(dr, dc))
+			if rho > 1 {
+				rho = 1
+			}
+			rhos[dr*grid.Cols+dc] = rho
+		}
+	}
+	nt := len(pairSpl)
+	tabs := make([][][]float64, nt)
+	for i := range tabs {
+		tabs[i] = make([][]float64, nt)
+	}
+	for i := 0; i < nt; i++ {
+		for j := i; j < nt; j++ {
+			sp := pairSpl[i][j]
+			tab := make([]float64, nc)
+			for k, rho := range rhos {
+				if rho > 0 {
+					tab[k] = sp.Eval(rho)
+				}
+			}
+			tabs[i][j] = tab
+			tabs[j][i] = tab
+		}
+	}
+	return tabs
 }
 
 // ExtractSpec derives the high-level design characteristics (Fig. 1) from a

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"leakest/internal/netlist"
+	"leakest/internal/placement"
+	"leakest/internal/stats"
+)
+
+func classTestDesign(t *testing.T, n int, grid placement.Grid) (*Model, *netlist.Netlist, *placement.Placement) {
+	t.Helper()
+	lib := testLib(t)
+	proc := testProcess()
+	byName := map[string]int{}
+	for _, cc := range lib.Cells {
+		byName[cc.Name] = cc.NumInputs
+	}
+	hist := testHist(t)
+	rng := stats.NewRNG(77, "truth-class")
+	nl, err := netlist.RandomCircuit(rng, "tc", n, 16, hist,
+		func(typ string) (int, error) { return byName[typ], nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := placement.Random(rng, grid, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DesignSpec{Hist: hist, N: n, W: grid.W(), H: grid.H(), SignalProb: 0.5}
+	m, err := NewModel(lib, proc, spec, Analytic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, nl, pl
+}
+
+// At the default power-of-two site pitch the class-table inner loop must be
+// BITWISE identical to the historical per-pair loop: class distances equal
+// pair distances exactly, so every spline evaluation and every accumulation
+// term matches. This is the invariant that keeps the determinism contract
+// and the frozen conformance goldens intact.
+func TestClassTablesBitwiseIdenticalAtDefaultPitch(t *testing.T) {
+	n := 300
+	grid, err := placement.AutoGrid(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, nl, pl := classTestDesign(t, n, grid)
+	tabbed, err := trueStats(context.Background(), m, nl, pl, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := trueStats(context.Background(), m, nl, pl, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tabbed.Mean != plain.Mean || tabbed.Std != plain.Std {
+		t.Errorf("class tables changed the result: µ %v vs %v, σ %v vs %v",
+			tabbed.Mean, plain.Mean, tabbed.Std, plain.Std)
+	}
+}
+
+// On a non-power-of-two pitch the class distance may differ from the pair
+// distance by one ULP; the results must still agree to deep relative
+// precision.
+func TestClassTablesMatchOnOddPitch(t *testing.T) {
+	n := 200
+	grid, err := placement.NewGrid(n, 1.7, 2.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, nl, pl := classTestDesign(t, n, grid)
+	tabbed, err := trueStats(context.Background(), m, nl, pl, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := trueStats(context.Background(), m, nl, pl, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(tabbed.Std-plain.Std) / plain.Std; rel > 1e-12 {
+		t.Errorf("σ differs by %g relative on odd pitch", rel)
+	}
+	if rel := math.Abs(tabbed.Mean-plain.Mean) / plain.Mean; rel > 1e-12 {
+		t.Errorf("µ differs by %g relative on odd pitch", rel)
+	}
+}
+
+// TrueStats must stay worker-invariant with the tabulated loop.
+func TestClassTablesWorkerInvariance(t *testing.T) {
+	n := 256
+	grid, err := placement.AutoGrid(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, nl, pl := classTestDesign(t, n, grid)
+	m.Workers = 1
+	serial, err := TrueStats(m, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Workers = 4
+	par, err := TrueStats(m, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Std != par.Std || serial.Mean != par.Mean {
+		t.Errorf("worker count changed tabulated truth: σ %v vs %v", serial.Std, par.Std)
+	}
+}

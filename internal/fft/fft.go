@@ -1,0 +1,187 @@
+// Package fft is a dependency-free iterative radix-2 fast Fourier
+// transform used by the circulant-embedding Monte-Carlo sampler
+// (internal/randvar): 1-D complex and real transforms plus a cache-blocked
+// 2-D transform over row-major buffers.
+//
+// Transforms are unnormalized in both directions — Forward computes
+// X[k] = Σ_j x[j]·e^(−2πi·jk/N) and the inverse uses the conjugated kernel
+// without the 1/N factor — so that round-tripping scales by N and callers
+// fold the normalization into whatever per-point factor they already apply
+// (the sampler bakes 1/(M·N) into its eigenvalue scale).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two ≥ n (and 1 for n ≤ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Transform computes the in-place DFT of x (forward for inverse=false,
+// conjugated kernel for inverse=true; both unnormalized). len(x) must be a
+// power of two.
+func Transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		return nil
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley–Tukey butterflies. The twiddle advances by a unit
+	// rotation per butterfly; the accumulated rotation error over the
+	// longest span is O(length·ε), far below the sampler's tolerance.
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		half := length >> 1
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			for k := start; k < start+half; k++ {
+				u := x[k]
+				v := x[k+half] * w
+				x[k] = u + v
+				x[k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// TransformReal computes the forward DFT of the real sequence src into the
+// full length-N complex spectrum dst (conjugate-symmetric: dst[N−k] =
+// conj(dst[k])) via one half-size complex transform. len(dst) must equal
+// len(src), a power of two.
+func TransformReal(dst []complex128, src []float64) error {
+	n := len(src)
+	if len(dst) != n {
+		return fmt.Errorf("fft: real transform dst length %d != src length %d", len(dst), n)
+	}
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	if n == 1 {
+		dst[0] = complex(src[0], 0)
+		return nil
+	}
+	// Pack even/odd samples into a half-size complex sequence, transform,
+	// then split the spectrum into even/odd parts E and O with
+	// X[k] = E[k] + e^(−2πik/N)·O[k].
+	h := n / 2
+	z := make([]complex128, h)
+	for k := 0; k < h; k++ {
+		z[k] = complex(src[2*k], src[2*k+1])
+	}
+	if err := Transform(z, false); err != nil {
+		return err
+	}
+	dst[0] = complex(real(z[0])+imag(z[0]), 0)
+	dst[h] = complex(real(z[0])-imag(z[0]), 0)
+	for k := 1; k < h; k++ {
+		zk, zm := z[k], cmplx.Conj(z[h-k])
+		e := (zk + zm) / 2
+		o := (zk - zm) / complex(0, 2)
+		dst[k] = e + cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))*o
+	}
+	for k := 1; k < h; k++ {
+		dst[n-k] = cmplx.Conj(dst[k])
+	}
+	return nil
+}
+
+// colBlock is the number of columns gathered per pass of the column
+// transforms: 16 complex128s span 256 contiguous bytes per row, so the
+// strided gather still reads whole cache lines.
+const colBlock = 16
+
+// Scratch2DLen returns the scratch length Transform2DInto requires for a
+// rows×cols transform.
+func Scratch2DLen(rows, cols int) int {
+	b := colBlock
+	if cols < b {
+		b = cols
+	}
+	return rows * b
+}
+
+// Transform2D computes the in-place 2-D DFT of the row-major rows×cols
+// buffer x, allocating its own column scratch. Both dimensions must be
+// powers of two.
+func Transform2D(x []complex128, rows, cols int, inverse bool) error {
+	return Transform2DInto(x, rows, cols, inverse, make([]complex128, Scratch2DLen(rows, cols)))
+}
+
+// Transform2DInto is Transform2D with caller-supplied scratch of at least
+// Scratch2DLen(rows, cols) elements, so per-trial callers (the MC sampler)
+// stay allocation-free.
+func Transform2DInto(x []complex128, rows, cols int, inverse bool, scratch []complex128) error {
+	if len(x) != rows*cols {
+		return fmt.Errorf("fft: buffer length %d != %d×%d", len(x), rows, cols)
+	}
+	if !IsPow2(rows) || !IsPow2(cols) {
+		return fmt.Errorf("fft: dimensions %d×%d are not powers of two", rows, cols)
+	}
+	if need := Scratch2DLen(rows, cols); len(scratch) < need {
+		return fmt.Errorf("fft: scratch length %d < required %d", len(scratch), need)
+	}
+	for r := 0; r < rows; r++ {
+		if err := Transform(x[r*cols:(r+1)*cols], inverse); err != nil {
+			return err
+		}
+	}
+	if rows == 1 {
+		return nil
+	}
+	// Columns in blocks: gather colBlock adjacent columns into contiguous
+	// per-column vectors, transform each, scatter back.
+	for c0 := 0; c0 < cols; c0 += colBlock {
+		bc := colBlock
+		if c0+bc > cols {
+			bc = cols - c0
+		}
+		for r := 0; r < rows; r++ {
+			row := x[r*cols+c0 : r*cols+c0+bc]
+			for j, v := range row {
+				scratch[j*rows+r] = v
+			}
+		}
+		for j := 0; j < bc; j++ {
+			if err := Transform(scratch[j*rows:(j+1)*rows], inverse); err != nil {
+				return err
+			}
+		}
+		for r := 0; r < rows; r++ {
+			row := x[r*cols+c0 : r*cols+c0+bc]
+			for j := range row {
+				row[j] = scratch[j*rows+r]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"leakest/internal/stats"
+)
+
+// naiveDFT is the O(n²) reference both transforms are checked against.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		acc := complex(0, 0)
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(j*k) / float64(n)
+			acc += x[j] * cmplx.Rect(1, ang)
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := stats.NewRNG(seed, "fft-test")
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDev(a, b []complex128) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestTransformMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		for _, inverse := range []bool{false, true} {
+			x := randComplex(n, int64(n))
+			want := naiveDFT(x, inverse)
+			if err := Transform(x, inverse); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxDev(x, want); d > 1e-10*float64(n) {
+				t.Errorf("n=%d inverse=%v: max deviation %g", n, inverse, d)
+			}
+		}
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	n := 128
+	x := randComplex(n, 7)
+	orig := append([]complex128(nil), x...)
+	if err := Transform(x, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transform(x, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if d := cmplx.Abs(x[i]/complex(float64(n), 0) - orig[i]); d > 1e-12 {
+			t.Fatalf("round trip deviates by %g at %d", d, i)
+		}
+	}
+}
+
+func TestTransformRejectsNonPow2(t *testing.T) {
+	if err := Transform(make([]complex128, 3), false); err == nil {
+		t.Error("length 3 accepted")
+	}
+	if err := Transform(nil, false); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := TransformReal(make([]complex128, 6), make([]float64, 6)); err == nil {
+		t.Error("real length 6 accepted")
+	}
+	if err := TransformReal(make([]complex128, 4), make([]float64, 8)); err == nil {
+		t.Error("mismatched real buffers accepted")
+	}
+}
+
+func TestTransformRealMatchesComplex(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		rng := stats.NewRNG(int64(n), "fft-real")
+		src := make([]float64, n)
+		cx := make([]complex128, n)
+		for i := range src {
+			src[i] = rng.NormFloat64()
+			cx[i] = complex(src[i], 0)
+		}
+		dst := make([]complex128, n)
+		if err := TransformReal(dst, src); err != nil {
+			t.Fatal(err)
+		}
+		if err := Transform(cx, false); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDev(dst, cx); d > 1e-11*float64(n) {
+			t.Errorf("n=%d: real transform deviates from complex by %g", n, d)
+		}
+	}
+}
+
+func TestTransform2DMatchesNaive(t *testing.T) {
+	rows, cols := 4, 8
+	x := randComplex(rows*cols, 3)
+	// Naive separable reference: DFT rows, then columns.
+	want := make([]complex128, rows*cols)
+	copy(want, x)
+	for r := 0; r < rows; r++ {
+		copy(want[r*cols:(r+1)*cols], naiveDFT(want[r*cols:(r+1)*cols], false))
+	}
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := range col {
+			col[r] = want[r*cols+c]
+		}
+		for r, v := range naiveDFT(col, false) {
+			want[r*cols+c] = v
+		}
+	}
+	if err := Transform2D(x, rows, cols, false); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDev(x, want); d > 1e-10 {
+		t.Errorf("2-D transform deviates from naive by %g", d)
+	}
+}
+
+func TestTransform2DIntoMatchesTransform2D(t *testing.T) {
+	rows, cols := 8, 32 // cols > colBlock exercises the block loop
+	a := randComplex(rows*cols, 11)
+	b := append([]complex128(nil), a...)
+	if err := Transform2D(a, rows, cols, true); err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]complex128, Scratch2DLen(rows, cols))
+	if err := Transform2DInto(b, rows, cols, true, scratch); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scratch variant differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if err := Transform2DInto(b, rows, cols, true, scratch[:1]); err == nil {
+		t.Error("undersized scratch accepted")
+	}
+	if err := Transform2D(b, 3, cols, false); err == nil {
+		t.Error("non-pow2 rows accepted")
+	}
+	if err := Transform2D(b[:5], rows, cols, false); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -108,6 +108,23 @@ func (p *Placement) Dist(i, j int) float64 {
 // MaxDist returns the largest possible distance on the grid (the diagonal).
 func (g Grid) MaxDist() float64 { return math.Hypot(g.W(), g.H()) }
 
+// LagDist returns the centre-to-centre distance of two sites separated by
+// dr rows and dc columns — the canonical distance of one (|Δrow|, |Δcol|)
+// lag class. On a grid there are only Rows·Cols distinct classes, which the
+// distance-class kernel tables (core.TrueStats) and the circulant-embedding
+// sampler (randvar) key off. At the default power-of-two site pitch the
+// products below are exact, so LagDist agrees bitwise with the Dist of any
+// site pair in the class.
+func (g Grid) LagDist(dr, dc int) float64 {
+	return math.Hypot(float64(dc)*g.SiteW, float64(dr)*g.SiteH)
+}
+
+// RowCol returns the grid row and column of gate i.
+func (p *Placement) RowCol(i int) (row, col int) {
+	s := p.Site[i]
+	return s / p.Grid.Cols, s % p.Grid.Cols
+}
+
 // AutoGrid builds a square-aspect grid for n gates at the default site
 // pitch — the common case throughout the experiments.
 func AutoGrid(n int) (Grid, error) {

@@ -116,6 +116,49 @@ func TestMaxDist(t *testing.T) {
 	}
 }
 
+// Property: LagDist of a lag class matches Dist of every site pair in that
+// class bitwise at the default (power-of-two) pitch — the invariant that lets
+// the distance-class kernel tables reuse per-pair golden values unchanged.
+func TestLagDistMatchesPairDist(t *testing.T) {
+	g, _ := NewGrid(64, DefaultSitePitch, DefaultSitePitch, 1)
+	p, err := RowMajor(g, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		ri, ci := p.RowCol(i)
+		for j := 0; j < 64; j++ {
+			rj, cj := p.RowCol(j)
+			want := p.Dist(i, j)
+			if got := g.LagDist(ri-rj, ci-cj); got != want {
+				t.Fatalf("LagDist(%d,%d) = %v, Dist(%d,%d) = %v", ri-rj, ci-cj, got, i, j, want)
+			}
+		}
+	}
+	// Sign of the lag must not matter.
+	if g.LagDist(-3, 5) != g.LagDist(3, -5) {
+		t.Error("LagDist not symmetric in lag sign")
+	}
+}
+
+func TestRowCol(t *testing.T) {
+	g := Grid{Rows: 4, Cols: 7, SiteW: 2, SiteH: 2}
+	p, err := RowMajor(g, g.Sites())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Site {
+		r, c := p.RowCol(i)
+		if r*g.Cols+c != p.Site[i] {
+			t.Fatalf("RowCol(%d) = (%d,%d), site %d", i, r, c, p.Site[i])
+		}
+		x, y := p.Pos(i)
+		if cx, cy := g.Center(r, c); x != cx || y != cy {
+			t.Fatalf("Pos(%d) = (%g,%g) but Center(%d,%d) = (%g,%g)", i, x, y, r, c, cx, cy)
+		}
+	}
+}
+
 func TestAutoGrid(t *testing.T) {
 	g, err := AutoGrid(11236) // 106², the paper's largest Fig. 6 size
 	if err != nil {

@@ -24,7 +24,10 @@ type CorrFunc interface {
 	Rho(d float64) float64
 	// Range returns the distance beyond which Rho is exactly zero, or
 	// math.Inf(1) if the function has unbounded support. The polar
-	// constant-time estimator (Eq. 25) requires a finite Range.
+	// constant-time estimator (Eq. 25) requires a finite Range, and the
+	// circulant-embedding grid sampler (randvar.GridSampler) sizes its
+	// embedding torus to span at least twice a finite Range — when that
+	// is affordable — so the wrapped kernel stays positive semi-definite.
 	Range() float64
 	// Name identifies the function family for reports.
 	Name() string

@@ -7,22 +7,61 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 )
+
+// fnv1aPrime is the FNV-1a 64-bit multiplier shared by NewRNG and Stream.
+const fnv1aPrime = 1099511628211
+
+// fnv1aSeed hashes the eight little-endian bytes of seed followed by the
+// label bytes with FNV-1a, starting from the offset basis.
+func fnv1aSeed(seed int64, label string) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < 8; i++ {
+		h ^= uint64(seed>>(8*i)) & 0xff
+		h *= fnv1aPrime
+	}
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= fnv1aPrime
+	}
+	return h
+}
 
 // NewRNG returns a deterministic random stream derived from a base seed and
 // a stream label, so that independent experiment stages draw from
 // non-overlapping, reproducible streams.
 func NewRNG(seed int64, stream string) *rand.Rand {
-	h := uint64(1469598103934665603) // FNV-1a offset basis
-	for i := 0; i < 8; i++ {
-		h ^= uint64(seed>>(8*i)) & 0xff
-		h *= 1099511628211
-	}
-	for _, c := range []byte(stream) {
+	return rand.New(rand.NewSource(int64(fnv1aSeed(seed, stream) & 0x7fffffffffffffff)))
+}
+
+// Stream is a partially evaluated NewRNG: it freezes the FNV-1a hash state
+// after (seed, prefix) so per-index seeds can be derived in a hot loop
+// without the fmt.Sprintf key allocation. SeedFor(i) equals the source seed
+// NewRNG(seed, prefix+strconv.Itoa(i)) would use, bitwise, so reseeding a
+// reusable *rand.Rand with it reproduces the historical per-index streams
+// exactly.
+type Stream struct{ h uint64 }
+
+// NewStream hashes (seed, prefix) once; SeedFor extends the hash with the
+// decimal digits of an index.
+func NewStream(seed int64, prefix string) Stream {
+	return Stream{h: fnv1aSeed(seed, prefix)}
+}
+
+// SeedFor returns the PRNG source seed of index i's stream (i ≥ 0).
+// rand.NewSource(s) and (*rand.Rand).Seed(s) build identical generator
+// states, so rng.Seed(st.SeedFor(i)) matches NewRNG's stream for the same
+// key with zero allocations.
+func (s Stream) SeedFor(i int) int64 {
+	h := s.h
+	var buf [20]byte
+	b := strconv.AppendInt(buf[:0], int64(i), 10)
+	for _, c := range b {
 		h ^= uint64(c)
-		h *= 1099511628211
+		h *= fnv1aPrime
 	}
-	return rand.New(rand.NewSource(int64(h & 0x7fffffffffffffff)))
+	return int64(h & 0x7fffffffffffffff)
 }
 
 // Mean returns the arithmetic mean of xs; it returns 0 for empty input.

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Stream.SeedFor must reproduce the hash NewRNG computes for the same
+// concatenated key, so the chipmc hot loop can drop the fmt.Sprintf key
+// without changing a single sampled value.
+func TestStreamMatchesNewRNG(t *testing.T) {
+	for _, seed := range []int64{0, 1, -7, 20070604, 1 << 40} {
+		st := NewStream(seed, "chipmc/mc-test/trial#")
+		for _, i := range []int{0, 1, 9, 10, 99, 12345, 1 << 20} {
+			want := NewRNG(seed, fmt.Sprintf("chipmc/mc-test/trial#%d", i))
+			got := rand.New(rand.NewSource(st.SeedFor(i)))
+			for k := 0; k < 4; k++ {
+				w, g := want.NormFloat64(), got.NormFloat64()
+				if w != g {
+					t.Fatalf("seed %d index %d draw %d: stream %g, NewRNG %g", seed, i, k, g, w)
+				}
+			}
+		}
+	}
+}
+
+// Reseeding a reused *rand.Rand must rebuild the exact NewSource state —
+// the property the per-worker RNG reuse in chipmc relies on.
+func TestReseedMatchesNewSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rng.NormFloat64() // advance past the fresh state
+	st := NewStream(42, "reseed#")
+	s := st.SeedFor(3)
+	rng.Seed(s)
+	fresh := rand.New(rand.NewSource(s))
+	for k := 0; k < 8; k++ {
+		if a, b := rng.NormFloat64(), fresh.NormFloat64(); a != b {
+			t.Fatalf("draw %d: reseeded %g, fresh %g", k, a, b)
+		}
+	}
+}
+
+func BenchmarkStreamSeedFor(b *testing.B) {
+	st := NewStream(1, "chipmc/bench/trial#")
+	var sink int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = st.SeedFor(i)
+	}
+	_ = sink
+}

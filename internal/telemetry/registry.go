@@ -131,8 +131,14 @@ func (c *Counter) Add(delta int64) {
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
 
-// Value returns the current count.
-func (c *Counter) Value() int64 { return c.v.Load() }
+// Value returns the current count; a nil counter reads 0, matching the
+// inert-nil contract of Add and Inc.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
 func (c *Counter) promType() string { return "counter" }
 func (c *Counter) writeProm(w io.Writer, base, labels string) {

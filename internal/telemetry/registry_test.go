@@ -168,8 +168,33 @@ func TestPackageHelpersDisabledAndEnabled(t *testing.T) {
 }
 
 func TestNilCounterHandle(t *testing.T) {
-	// Hot loops hold a possibly-nil *Counter and tick unconditionally.
+	// Hot loops hold a possibly-nil *Counter and tick unconditionally —
+	// exactly what chipmc does with its trials counter when no registry is
+	// installed. Every method must be inert on the nil receiver, including
+	// the read side.
 	var c *Counter
 	c.Inc()
 	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Errorf("nil counter Value() = %d, want 0", got)
+	}
+}
+
+// The chipmc trial loop calls trialsC.Inc() unconditionally on a handle that
+// is nil whenever telemetry is disabled; this pins the exact pattern.
+func TestNilCounterHotLoopPattern(t *testing.T) {
+	var trialsC *Counter
+	if r := Default(); r != nil {
+		t.Skip("a default registry is installed; the nil path is not reachable")
+	}
+	for i := 0; i < 1000; i++ {
+		trialsC.Inc()
+	}
+	if trialsC.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	allocs := testing.AllocsPerRun(100, func() { trialsC.Inc() })
+	if allocs != 0 {
+		t.Errorf("nil Inc allocates %.1f times", allocs)
+	}
 }

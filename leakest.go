@@ -185,6 +185,11 @@ type Estimator struct {
 	// path. Every result is bitwise identical at any setting — see the
 	// determinism contract in internal/parallel.
 	Workers int
+	// Sampler selects the Monte-Carlo field construction: SamplerAuto
+	// (default) routes small designs to the dense-Cholesky reference and
+	// large ones to the O(S log S) circulant-embedding FFT sampler;
+	// SamplerDense and SamplerFFT force one path.
+	Sampler MCSampler
 }
 
 // NewEstimator creates an estimator. proc may be nil to use the process the
