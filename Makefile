@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race race-parallel fuzz bench conformance
+.PHONY: build test check vet race race-parallel fuzz bench conformance server-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ conformance:
 	$(GO) test -race ./internal/conformance/
 	$(GO) run ./cmd/leakest verify -short -workers 1
 	$(GO) run ./cmd/leakest verify -short -workers 4 -json CONFORMANCE_leakest.json
+
+# server-smoke boots leakestd on a loopback port and exercises the HTTP
+# API end to end: a small estimate must answer 200 with finite moments,
+# concurrent duplicates must collapse onto one library characterization
+# (singleflight, read off /metrics), and SIGTERM must drain to exit 0.
+server-smoke:
+	./scripts/server_smoke.sh
 
 # A short fuzz pass over the .bench parser; CI runs the seed corpus via
 # `go test`, this target digs further locally.

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"leakest/internal/fault"
 )
 
 // TestBudgetRungBoundaries pins the static admission rules at their exact
@@ -190,6 +192,67 @@ func TestBudgetTimeoutCountsPerRung(t *testing.T) {
 	}
 	if delta != 2 {
 		t.Errorf("degradations_total{reason=\"timeout\"} += %d, want 2", delta)
+	}
+}
+
+// TestBudgetTimeoutDegradesOnlyTheSlowRung is the per-rung deadline
+// boundary: a Sleep fault makes each O(n²) truth row take far longer than
+// the budget Timeout, so that rung alone blows its deadline and degrades —
+// counting exactly one degradations_total{reason="timeout"} — while the
+// unfaulted O(n) rung finishes within a fresh per-rung deadline and serves
+// the result. The call as a whole must succeed: Timeout is a rung budget,
+// not a call budget.
+func TestBudgetTimeoutDegradesOnlyTheSlowRung(t *testing.T) {
+	est, nl, pl := robustCircuit(t, 60)
+	defer fault.Reset()
+	// Each truth row pauses 400 ms against a 40 ms rung deadline: the O(n²)
+	// rung cannot finish a single row before its context fires, regardless
+	// of scheduler jitter. The linear rung never hits this site.
+	fault.Arm(fault.SiteTruthRow, fault.Action{Kind: fault.Sleep, Delay: 400 * time.Millisecond})
+
+	var res Result
+	var err error
+	delta := metricDelta(`degradations_total{reason="timeout"}`, func() {
+		res, err = est.TrueLeakageBudgeted(context.Background(), nl, pl, 0.5,
+			EstimateBudget{Timeout: 40 * time.Millisecond})
+	})
+	if err != nil {
+		t.Fatalf("a rung deadline must degrade, not fail the call: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("timed-out O(n²) rung must mark the result degraded")
+	}
+	if res.Method != "linear" {
+		t.Errorf("method = %q, want the next rung down (linear)", res.Method)
+	}
+	if !strings.Contains(res.DegradeReason, "timed out") {
+		t.Errorf("DegradeReason = %q, want a timeout mention", res.DegradeReason)
+	}
+	if delta != 1 {
+		t.Errorf("degradations_total{reason=\"timeout\"} += %d, want 1 (only the truth rung timed out)", delta)
+	}
+}
+
+// TestBudgetTimeoutGenerousDeadlineDoesNotDegrade: a deadline the rung
+// comfortably meets must leave the ladder untouched — the boundary's other
+// side.
+func TestBudgetTimeoutGenerousDeadlineDoesNotDegrade(t *testing.T) {
+	est, nl, pl := robustCircuit(t, 60)
+	var res Result
+	var err error
+	delta := metricDelta(`degradations_total{reason="timeout"}`, func() {
+		res, err = est.TrueLeakageBudgeted(context.Background(), nl, pl, 0.5,
+			EstimateBudget{Timeout: time.Hour})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.Method != "true-n2" {
+		t.Errorf("generous deadline degraded: method %q, degraded %v (%s)",
+			res.Method, res.Degraded, res.DegradeReason)
+	}
+	if delta != 0 {
+		t.Errorf("degradations_total{reason=\"timeout\"} += %d, want 0", delta)
 	}
 }
 

@@ -20,7 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
-	"net/http"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -179,13 +179,20 @@ func main() {
 		leakest.EnableMetrics()
 	}
 	if *listen != "" {
-		srv := &http.Server{Addr: *listen, Handler: leakest.TelemetryHandler()}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintf(os.Stderr, "leakest: telemetry server: %v\n", err)
-			}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fail("telemetry server: %v", err)
+		}
+		ts := startTelemetryServer(ctx, ln, leakest.TelemetryHandler(), func(err error) {
+			fmt.Fprintf(os.Stderr, "leakest: telemetry server: %v\n", err)
+		})
+		// On any return path, cancel the run context (Ctrl-C already has)
+		// and wait for the graceful http.Server.Shutdown to finish.
+		defer func() {
+			stop()
+			ts.Wait(3 * time.Second)
 		}()
-		fmt.Fprintf(os.Stderr, "serving /metrics, /debug/vars and /debug/pprof/ on %s\n", *listen)
+		fmt.Fprintf(os.Stderr, "serving /metrics, /debug/vars and /debug/pprof/ on %s\n", ln.Addr())
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// telemetryServer wraps the -listen HTTP server with context-driven graceful
+// shutdown: when the run's context is canceled (Ctrl-C, -timeout), the
+// server is stopped via http.Server.Shutdown so in-flight /metrics and
+// pprof requests drain and the listener closes, instead of the goroutine
+// being abandoned until process exit.
+type telemetryServer struct {
+	srv  *http.Server
+	done chan struct{} // closed once Serve has returned and shutdown finished
+}
+
+// startTelemetryServer serves handler on ln until ctx is canceled, then
+// shuts down gracefully. onErr (optional) receives a listener failure.
+func startTelemetryServer(ctx context.Context, ln net.Listener, handler http.Handler, onErr func(error)) *telemetryServer {
+	ts := &telemetryServer{
+		srv:  &http.Server{Handler: handler},
+		done: make(chan struct{}),
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- ts.srv.Serve(ln) }()
+	go func() {
+		defer close(ts.done)
+		select {
+		case err := <-serveErr:
+			// The listener died on its own (port stolen, bad handler):
+			// report it; there is nothing left to shut down.
+			if err != nil && !errors.Is(err, http.ErrServerClosed) && onErr != nil {
+				onErr(err)
+			}
+			return
+		case <-ctx.Done():
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = ts.srv.Shutdown(sctx)
+		<-serveErr
+	}()
+	return ts
+}
+
+// Wait blocks until the server has fully stopped, bounded by d.
+func (t *telemetryServer) Wait(d time.Duration) {
+	select {
+	case <-t.done:
+	case <-time.After(d):
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestTelemetryServerShutsDownOnCancel: the Ctrl-C regression test. The
+// -listen server must answer while the run context is live, then stop
+// accepting connections once it is canceled — via http.Server.Shutdown,
+// not by being abandoned.
+func TestTelemetryServerShutsDownOnCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ts := startTelemetryServer(ctx, ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "metrics ok")
+	}), nil)
+	addr := ln.Addr().String()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET while live: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "metrics ok" {
+		t.Fatalf("live server answered %d %q", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case <-ts.done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("server did not shut down after context cancel")
+	}
+	if conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting connections after shutdown")
+	}
+}
+
+// TestTelemetryServerDrainsInFlight: a request already being served when the
+// context is canceled completes instead of being torn down mid-response.
+func TestTelemetryServerDrainsInFlight(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ts := startTelemetryServer(ctx, ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "drained")
+	}), nil)
+
+	type got struct {
+		body string
+		err  error
+	}
+	result := make(chan got, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			result <- got{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		result <- got{body: string(b), err: err}
+	}()
+
+	<-entered
+	cancel()
+	// Shutdown is now waiting on the in-flight handler; let it finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	r := <-result
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request: body %q err %v, want a drained response", r.body, r.err)
+	}
+	select {
+	case <-ts.done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("server did not finish shutdown after draining")
+	}
+}

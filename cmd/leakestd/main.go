@@ -1,0 +1,117 @@
+// Command leakestd serves full-chip leakage estimation over HTTP/JSON.
+//
+//	leakestd -addr :8080 -workers 4
+//
+// Endpoints:
+//
+//	POST   /v1/estimate    synchronous estimation (histogram or .bench)
+//	POST   /v1/jobs        asynchronous job submission
+//	GET    /v1/jobs/{id}   job state, progress, result
+//	DELETE /v1/jobs/{id}   job cancellation
+//	GET    /healthz        liveness (503 while draining)
+//	GET    /metrics        Prometheus text format
+//
+// The service degrades gracefully under overload: queued requests are
+// admitted with tightening estimation budgets (so they answer with cheaper
+// estimators, reason recorded in the response) and only requests past the
+// hard queue cap are shed with 429 + Retry-After. SIGTERM/SIGINT drains
+// in-flight work under the -drain deadline, then force-cancels.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"leakest"
+	"leakest/internal/cells"
+	"leakest/internal/server"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "leakestd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func cellSet(name string) ([]*cells.Cell, error) {
+	switch name {
+	case "full":
+		return leakest.BuiltinCells(), nil
+	case "core":
+		return cells.CoreSubset(), nil
+	case "iscas":
+		return cells.ISCASSubset(), nil
+	default:
+		return nil, fmt.Errorf("unknown cell set %q (full|core|iscas)", name)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent estimation workers; 0 = server default")
+	queueCap := flag.Int("queue-cap", 0, "hard queue cap before shedding with 429; 0 = 4x workers")
+	maxJobs := flag.Int("max-jobs", 0, "max live async jobs before shedding; 0 = server default")
+	cellsFlag := flag.String("cells", "iscas", "cell library to characterize on demand: full|core|iscas")
+	charMC := flag.Int("char-mc", 0, "Monte-Carlo samples per cell for on-demand characterization; 0 = library default")
+	reqTimeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	verbose := flag.Bool("v", false, "structured debug log on stderr")
+	flag.Parse()
+
+	if *verbose {
+		leakest.SetLogger(slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelDebug})))
+	}
+	cellLib, err := cellSet(*cellsFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		MaxJobs:        *maxJobs,
+		Cells:          cellLib,
+		CharMCSamples:  *charMC,
+		DefaultTimeout: *reqTimeout,
+	})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "leakestd: serving on %s (workers=%d, cells=%s)\n",
+		ln.Addr(), srv.Workers(), *cellsFlag)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fail("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "leakestd: shutting down (drain deadline %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections while the estimation workers drain; the
+	// server refuses new work (503) the moment draining begins, so the two
+	// shutdowns can overlap.
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Shutdown(dctx) }()
+	if err := srv.Shutdown(dctx); err != nil {
+		fail("drain: %v", err)
+	}
+	<-httpDone
+	fmt.Fprintln(os.Stderr, "leakestd: drained cleanly")
+}

@@ -51,6 +51,11 @@ const DefaultMaxGates = 4000
 // time predictable. Override with Config.MaxGates.
 const DefaultMaxGatesFFT = 200000
 
+// autoDenseLimit is the gate count up to which SamplerAuto routes to the
+// dense reference path; a variable (not const) only so the fault-injection
+// tests can exercise the FFT→dense fallback on small, fast designs.
+var autoDenseLimit = DefaultMaxGates
+
 // Sampler selects how the correlated channel-length field is drawn.
 type Sampler int
 
@@ -124,6 +129,13 @@ type Config struct {
 	// derived from (Seed, trial index), and the moment reduction runs over
 	// the stored per-trial totals in trial order.
 	Workers int
+	// Prebuilt is an optional pre-constructed FFT grid sampler (the
+	// expensive torus embedding, cacheable across runs keyed by
+	// (kernel, grid)). It is used only when the FFT path is selected and
+	// its grid matches the placement grid exactly; otherwise the embedding
+	// is built fresh. The sampler must have been built for the same
+	// process (the embedding depends only on the WID kernel and the grid).
+	Prebuilt *randvar.GridSampler
 	// KeepTrials retains the per-trial chip totals in Result.Trials — the
 	// raw MC stream, used by the determinism suite and by distribution
 	// diagnostics. Off by default (costs 8 bytes per trial when on).
@@ -262,7 +274,7 @@ func resolveSampler(cfg Config, n int) (use Sampler, maxGates int, err error) {
 	}
 	use = cfg.Sampler
 	if use == SamplerAuto {
-		if n <= DefaultMaxGates {
+		if n <= autoDenseLimit {
 			use = SamplerDense
 		} else {
 			use = SamplerFFT
@@ -348,7 +360,18 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	}
 	if use == SamplerFFT {
 		endSetup := telemetry.StartSpan(ctx, "chipmc.fft_setup")
-		gs, gerr := randvar.NewGridSampler(cfg.Proc, pl.Grid)
+		var gs *randvar.GridSampler
+		var gerr error
+		if cfg.Prebuilt != nil && cfg.Prebuilt.Grid() == pl.Grid {
+			gs = cfg.Prebuilt
+		} else {
+			gs, gerr = randvar.NewGridSampler(cfg.Proc, pl.Grid)
+		}
+		if gerr == nil {
+			if ferr := fault.Failure(fault.SiteFFTSetup); ferr != nil {
+				gs, gerr = nil, ferr
+			}
+		}
 		endSetup()
 		switch {
 		case gerr == nil:

@@ -1,0 +1,96 @@
+package chipmc
+
+import (
+	"errors"
+	"testing"
+
+	"leakest/internal/fault"
+	"leakest/internal/lkerr"
+	"leakest/internal/randvar"
+	"leakest/internal/telemetry"
+)
+
+// TestInjectedEmbeddingFailureFallsBackToDenseOnce proves the documented
+// auto-mode degradation: when the FFT circulant embedding fails mid-setup,
+// a design within the caller's explicit gate budget falls back to the dense
+// reference sampler exactly once — incrementing
+// chipmc_sampler_fallback_total — and produces the dense path's bitwise
+// result instead of failing or wedging.
+func TestInjectedEmbeddingFailureFallsBackToDenseOnce(t *testing.T) {
+	lib, proc, nl, pl := testSetup(t, 64)
+	old := autoDenseLimit
+	autoDenseLimit = 8 // route this small design to the FFT path under auto
+	defer func() { autoDenseLimit = old }()
+
+	cfg := Config{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 50, Seed: 3,
+		Sampler: SamplerAuto, MaxGates: 128}
+
+	// Dense reference, no fault: the fallback must reproduce this bitwise.
+	dcfg := cfg
+	dcfg.Sampler = SamplerDense
+	want, err := Run(dcfg, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := telemetry.Enable()
+	before := r.Counter("chipmc_sampler_fallback_total").Value()
+	fault.Arm(fault.SiteFFTSetup, fault.Action{Kind: fault.Error})
+	got, err := Run(cfg, nl, pl)
+	hits := fault.Hits(fault.SiteFFTSetup)
+	fault.Reset()
+	if err != nil {
+		t.Fatalf("auto run with injected embedding failure: %v", err)
+	}
+	if hits != 1 {
+		t.Errorf("fft-setup site fired %d times, want exactly 1 (one setup, one fallback)", hits)
+	}
+	if delta := r.Counter("chipmc_sampler_fallback_total").Value() - before; delta != 1 {
+		t.Errorf("chipmc_sampler_fallback_total += %d, want 1", delta)
+	}
+	if got.Mean != want.Mean || got.Std != want.Std || got.Q05 != want.Q05 || got.Q95 != want.Q95 {
+		t.Errorf("fallback result differs from the dense reference:\n got µ=%v σ=%v [%v, %v]\nwant µ=%v σ=%v [%v, %v]",
+			got.Mean, got.Std, got.Q05, got.Q95, want.Mean, want.Std, want.Q05, want.Q95)
+	}
+}
+
+// TestInjectedEmbeddingFailureForcedFFTIsTyped: with the FFT sampler forced
+// (no fallback admissible), an injected embedding failure surfaces as a
+// typed Numerical error, never a crash or a silent wrong result.
+func TestInjectedEmbeddingFailureForcedFFTIsTyped(t *testing.T) {
+	lib, proc, nl, pl := testSetup(t, 64)
+	defer fault.Reset()
+	fault.Arm(fault.SiteFFTSetup, fault.Action{Kind: fault.Error})
+	cfg := Config{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 50, Seed: 3,
+		Sampler: SamplerFFT}
+	_, err := Run(cfg, nl, pl)
+	if !errors.Is(err, lkerr.ErrNumerical) {
+		t.Fatalf("forced FFT with injected failure: got %v, want a typed Numerical error", err)
+	}
+}
+
+// TestPrebuiltSamplerIsReused: a cached grid sampler whose grid matches the
+// placement is used in place of a fresh embedding and reproduces the
+// freshly-built FFT result bitwise; a mismatched grid is ignored.
+func TestPrebuiltSamplerIsReused(t *testing.T) {
+	lib, proc, nl, pl := testSetup(t, 64)
+	cfg := Config{Lib: lib, Proc: proc, SignalProb: 0.5, Samples: 50, Seed: 3,
+		Sampler: SamplerFFT}
+	fresh, err := Run(cfg, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := randvar.NewGridSampler(proc, pl.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := cfg
+	pcfg.Prebuilt = gs
+	got, err := Run(pcfg, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mean != fresh.Mean || got.Std != fresh.Std || got.Q05 != fresh.Q05 || got.Q95 != fresh.Q95 {
+		t.Errorf("prebuilt-sampler run differs from fresh embedding: got %+v, want %+v", got, fresh)
+	}
+}

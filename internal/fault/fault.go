@@ -10,6 +10,7 @@
 package fault
 
 import (
+	"errors"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,21 @@ const (
 	SiteLinearAccum = "core/linear-accumulate"
 	// SiteGridTrial fires once per grid-model factor-space trial.
 	SiteGridTrial = "gridmodel/trial"
+	// SiteFFTSetup fires inside the chipmc.fft_setup stage; armed with Error
+	// it makes the circulant-embedding construction report failure, driving
+	// the documented dense-sampler fallback.
+	SiteFFTSetup = "chipmc/fft-setup"
+	// SiteGridEmbed fires at the start of the GridSampler embedding build
+	// (panic / slow-setup faults for the torus-spectrum path).
+	SiteGridEmbed = "randvar/grid-embed"
+	// SiteCacheFill fires inside an estimation-server artifact-cache fill;
+	// armed with Panic or Error it proves a failed fill surfaces as a typed
+	// error to every singleflight waiter and is recomputed on the next miss.
+	SiteCacheFill = "server/cache-fill"
+	// SiteJobExec fires at the start of an estimation-server job execution;
+	// armed with Panic it proves a crashing job is marked failed with a
+	// typed error instead of wedging the worker pool.
+	SiteJobExec = "server/job-exec"
 )
 
 // Kind selects the failure a site produces when armed.
@@ -52,6 +68,9 @@ const (
 	// Sleep makes Hit delay by Action.Delay at every firing — the "slow
 	// iteration" fault for exercising deadlines.
 	Sleep
+	// Error makes Failure return an injected error at the site — the
+	// "dependency failed" fault for exercising fallback paths.
+	Error
 )
 
 // Action describes an armed fault.
@@ -129,6 +148,22 @@ func Hit(site string) {
 	case Sleep:
 		time.Sleep(a.Delay)
 	}
+}
+
+// Failure returns an injected error when the site is armed with an Error
+// fault, and nil otherwise. Callers fold it into their own error path:
+//
+//	if err == nil {
+//		err = fault.Failure(fault.SiteFFTSetup)
+//	}
+func Failure(site string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	if a, ok := lookup(site); ok && a.Kind == Error {
+		return errors.New("fault: injected failure at " + site)
+	}
+	return nil
 }
 
 // Corrupt passes v through unless the site is armed with a NaN fault, in

@@ -57,6 +57,39 @@ func TestAfterDelaysFiring(t *testing.T) {
 	}
 }
 
+func TestErrorKind(t *testing.T) {
+	defer Reset()
+	Arm(SiteFFTSetup, Action{Kind: Error})
+	if err := Failure(SiteFFTSetup); err == nil {
+		t.Errorf("armed Error site returned nil")
+	}
+	// Other sites and other kinds stay inert for Failure.
+	if err := Failure(SiteCacheFill); err != nil {
+		t.Errorf("unrelated site failed: %v", err)
+	}
+	Arm(SiteCacheFill, Action{Kind: NaN})
+	if err := Failure(SiteCacheFill); err != nil {
+		t.Errorf("NaN-armed site returned an error from Failure: %v", err)
+	}
+	Reset()
+	if err := Failure(SiteFFTSetup); err != nil {
+		t.Errorf("Failure after Reset: %v", err)
+	}
+}
+
+func TestErrorKindHonorsAfter(t *testing.T) {
+	defer Reset()
+	Arm(SiteJobExec, Action{Kind: Error, After: 2})
+	for i := 0; i < 2; i++ {
+		if err := Failure(SiteJobExec); err != nil {
+			t.Fatalf("fired on hit %d, want after 2", i+1)
+		}
+	}
+	if err := Failure(SiteJobExec); err == nil {
+		t.Errorf("did not fire on hit 3")
+	}
+}
+
 func TestSleepKind(t *testing.T) {
 	defer Reset()
 	Arm(SiteCharState, Action{Kind: Sleep, Delay: 10 * time.Millisecond})

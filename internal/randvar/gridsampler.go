@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"leakest/internal/fault"
 	"leakest/internal/fft"
 	"leakest/internal/placement"
 	"leakest/internal/spatial"
@@ -86,6 +87,10 @@ func NewGridSampler(proc *spatial.Process, grid placement.Grid) (*GridSampler, e
 	if grid.Rows < 1 || grid.Cols < 1 || grid.SiteW <= 0 || grid.SiteH <= 0 {
 		return nil, fmt.Errorf("randvar: degenerate grid %dx%d (pitch %gx%g)",
 			grid.Rows, grid.Cols, grid.SiteW, grid.SiteH)
+	}
+	fault.Hit(fault.SiteGridEmbed)
+	if err := fault.Failure(fault.SiteGridEmbed); err != nil {
+		return nil, err
 	}
 	s := &GridSampler{grid: grid, mean: proc.LNominal, sd2d: proc.SigmaD2D}
 	vw := proc.SigmaWID * proc.SigmaWID
@@ -246,6 +251,11 @@ func embedSpectrum(corr spatial.CorrFunc, grid placement.Grid, vw float64, tm, t
 
 // Sites returns the number of field points a draw produces (grid sites).
 func (s *GridSampler) Sites() int { return s.grid.Sites() }
+
+// Grid returns the placement grid the sampler was built for. Callers that
+// cache samplers across runs use it to verify a cached embedding still
+// matches the placement before reuse.
+func (s *GridSampler) Grid() placement.Grid { return s.grid }
 
 // TorusDims returns the embedding torus dimensions (1×1 for a WID-free
 // process).

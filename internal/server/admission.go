@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+
+	"leakest"
+	"leakest/internal/lkerr"
+	"leakest/internal/telemetry"
+)
+
+// Load levels, in increasing order of pressure. Each level past normal
+// attaches a tighter EstimateBudget to admitted work, so the estimator's
+// existing degradation ladder (O(n²) → O(n) → O(1)) answers overload with
+// cheaper — but still typed and conformance-checked — estimates instead of
+// queue collapse. Only past the hard queue cap does the server shed.
+type loadLevel int
+
+const (
+	levelNormal   loadLevel = iota // free worker: no load budget
+	levelBusy                      // had to queue: cap pair enumeration
+	levelHeavy                     // queue > workers: cap exact-gate work too
+	levelOverload                  // queue > 2× workers: constant-time only
+)
+
+func (l loadLevel) String() string {
+	switch l {
+	case levelNormal:
+		return "normal"
+	case levelBusy:
+		return "busy"
+	case levelHeavy:
+		return "heavy"
+	default:
+		return "overload"
+	}
+}
+
+// Soft caps attached by the load levels. They feed leakest.EstimateBudget,
+// so the ladder records the usual degradation reasons and telemetry.
+const (
+	softMaxPairs = int64(1) << 21 // busy: bound O(n²) pair enumeration
+	softMaxGates = 2000           // heavy: bound exact per-gate work
+)
+
+// errShed is returned by acquire when the hard queue cap is exceeded.
+type errShed struct {
+	retryAfterS int
+}
+
+func (e *errShed) Error() string { return "server overloaded, request shed" }
+
+// admission is the semaphore-bounded worker pool with queue-depth-driven
+// load shedding.
+type admission struct {
+	sem      chan struct{} // one token per worker
+	workers  int
+	queueCap int          // hard cap on concurrently waiting requests
+	waiting  atomic.Int64 // requests blocked on sem
+}
+
+func newAdmission(workers, queueCap int) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 4 * workers
+	}
+	a := &admission{sem: make(chan struct{}, workers), workers: workers, queueCap: queueCap}
+	return a
+}
+
+// acquire admits the request to a worker slot, classifying the load level
+// from the queue depth it observed. It returns a release func, the level,
+// and the load budget the level imposes. Past the hard queue cap it returns
+// *errShed (HTTP 429) immediately; a dead ctx returns the typed context
+// error.
+func (a *admission) acquire(ctx context.Context) (release func(), lvl loadLevel, depth int, err error) {
+	// Fast path: a free worker, no queueing, no load budget.
+	select {
+	case a.sem <- struct{}{}:
+		return a.releaseFunc(), levelNormal, int(a.waiting.Load()), nil
+	default:
+	}
+
+	w := a.waiting.Add(1)
+	telemetry.SetGauge("server_queue_depth", float64(a.queueDepth()))
+	if int(w) > a.queueCap {
+		a.waiting.Add(-1)
+		telemetry.SetGauge("server_queue_depth", float64(a.queueDepth()))
+		telemetry.Inc("server_shed_total")
+		return nil, 0, int(w), &errShed{retryAfterS: a.retryAfter(int(w))}
+	}
+	defer func() {
+		a.waiting.Add(-1)
+		telemetry.SetGauge("server_queue_depth", float64(a.queueDepth()))
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		// Classify from the depth seen while this request waited: how many
+		// were in line with it (itself included) when it won a slot.
+		depth = int(w)
+		switch {
+		case depth > 2*a.workers:
+			lvl = levelOverload
+		case depth > a.workers:
+			lvl = levelHeavy
+		default:
+			lvl = levelBusy
+		}
+		return a.releaseFunc(), lvl, depth, nil
+	case <-ctx.Done():
+		return nil, 0, int(w), lkerr.FromContext(ctx, "server.admission")
+	}
+}
+
+func (a *admission) releaseFunc() func() {
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			<-a.sem
+		}
+	}
+}
+
+// queueDepth reports the number of requests currently waiting for a worker.
+func (a *admission) queueDepth() int { return int(a.waiting.Load()) }
+
+// retryAfter estimates seconds until the queue likely has room: one second
+// per full queue round per worker, capped.
+func (a *admission) retryAfter(waiters int) int {
+	s := 1 + waiters/a.workers
+	if s > 30 {
+		s = 30
+	}
+	return s
+}
+
+// loadBudget renders the level's soft caps as an EstimateBudget.
+func (l loadLevel) loadBudget() leakest.EstimateBudget {
+	switch l {
+	case levelBusy:
+		return leakest.EstimateBudget{MaxPairs: softMaxPairs}
+	case levelHeavy:
+		return leakest.EstimateBudget{MaxPairs: softMaxPairs, MaxGates: softMaxGates}
+	case levelOverload:
+		// MaxGates 1 rules out both exact rungs for any real design: only
+		// the O(1) closed-form integral can answer.
+		return leakest.EstimateBudget{MaxPairs: 1, MaxGates: 1}
+	default:
+		return leakest.EstimateBudget{}
+	}
+}
+
+// tighten combines the request's own budget with the load budget, taking the
+// stricter bound field-by-field (zero means unbounded).
+func tighten(req, load leakest.EstimateBudget) leakest.EstimateBudget {
+	out := req
+	if load.MaxGates != 0 && (out.MaxGates == 0 || load.MaxGates < out.MaxGates) {
+		out.MaxGates = load.MaxGates
+	}
+	if load.MaxPairs != 0 && (out.MaxPairs == 0 || load.MaxPairs < out.MaxPairs) {
+		out.MaxPairs = load.MaxPairs
+	}
+	if load.Timeout != 0 && (out.Timeout == 0 || load.Timeout < out.Timeout) {
+		out.Timeout = load.Timeout
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"leakest"
+)
+
+// waitFor polls cond up to 2 s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAdmissionLevelsAndShed drives the controller through every level:
+// with one worker held, successive waiters are classified busy → heavy →
+// overload by the depth they entered at, and the first waiter past the hard
+// queue cap is shed immediately.
+func TestAdmissionLevelsAndShed(t *testing.T) {
+	a := newAdmission(1, 3)
+
+	// Fast path: a free worker is admission at the normal level.
+	rel0, lvl0, _, err := a.acquire(context.Background())
+	if err != nil || lvl0 != levelNormal {
+		t.Fatalf("fast path: lvl=%v err=%v, want normal", lvl0, err)
+	}
+
+	type admitted struct {
+		lvl loadLevel
+		err error
+	}
+	results := make([]chan admitted, 3)
+	releases := make([]func(), 3)
+	for i := range results {
+		results[i] = make(chan admitted, 1)
+		i := i
+		go func() {
+			rel, lvl, _, err := a.acquire(context.Background())
+			releases[i] = rel
+			results[i] <- admitted{lvl, err}
+		}()
+		waitFor(t, "queue depth", func() bool { return a.queueDepth() == i+1 })
+	}
+
+	// Queue is at the hard cap (3): the next request is shed, not queued.
+	_, _, _, err = a.acquire(context.Background())
+	var shed *errShed
+	if !errors.As(err, &shed) {
+		t.Fatalf("past queue cap: got %v, want errShed", err)
+	}
+	if shed.retryAfterS < 1 {
+		t.Fatalf("shed with Retry-After %d, want ≥ 1", shed.retryAfterS)
+	}
+
+	// Release the worker; waiters drain in FIFO-ish order, each carrying
+	// the level of the depth it entered at: 1 → busy, 2 → heavy (> workers),
+	// 3 → overload (> 2×workers).
+	want := []loadLevel{levelBusy, levelHeavy, levelOverload}
+	rel0()
+	seen := make(map[loadLevel]int)
+	for i := range results {
+		got := <-results[i]
+		if got.err != nil {
+			t.Fatalf("waiter %d: %v", i, got.err)
+		}
+		seen[got.lvl]++
+		releases[i]()
+	}
+	for _, lvl := range want {
+		if seen[lvl] != 1 {
+			t.Fatalf("admitted levels %v, want exactly one each of %v", seen, want)
+		}
+	}
+}
+
+func TestAdmissionCanceledWaiter(t *testing.T) {
+	a := newAdmission(1, 8)
+	rel, _, _, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, _, err = a.acquire(ctx)
+	if err == nil {
+		t.Fatal("expected a deadline error for the blocked waiter")
+	}
+	waitFor(t, "queue to empty", func() bool { return a.queueDepth() == 0 })
+}
+
+func TestLoadBudgets(t *testing.T) {
+	if b := levelNormal.loadBudget(); b != (leakest.EstimateBudget{}) {
+		t.Fatalf("normal level imposes %+v, want none", b)
+	}
+	if b := levelBusy.loadBudget(); b.MaxPairs != softMaxPairs || b.MaxGates != 0 {
+		t.Fatalf("busy budget %+v", b)
+	}
+	if b := levelHeavy.loadBudget(); b.MaxGates != softMaxGates {
+		t.Fatalf("heavy budget %+v", b)
+	}
+	if b := levelOverload.loadBudget(); b.MaxGates != 1 {
+		t.Fatalf("overload budget %+v, want the O(1)-only bound", b)
+	}
+}
+
+func TestTighten(t *testing.T) {
+	req := leakest.EstimateBudget{MaxGates: 100, Timeout: time.Second}
+	load := leakest.EstimateBudget{MaxGates: 2000, MaxPairs: 50}
+	got := tighten(req, load)
+	if got.MaxGates != 100 || got.MaxPairs != 50 || got.Timeout != time.Second {
+		t.Fatalf("tighten = %+v, want the stricter bound per field", got)
+	}
+	if got := tighten(leakest.EstimateBudget{}, leakest.EstimateBudget{}); got != (leakest.EstimateBudget{}) {
+		t.Fatalf("tighten of empty budgets = %+v, want empty", got)
+	}
+}

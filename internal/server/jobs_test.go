@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"leakest/internal/fault"
+	"leakest/internal/telemetry"
+)
+
+func decodeJob(t *testing.T, rec *httptest.ResponseRecorder) *JobBody {
+	t.Helper()
+	var jb JobBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &jb); err != nil {
+		t.Fatalf("bad job body %q: %v", rec.Body.String(), err)
+	}
+	return &jb
+}
+
+// pollJob polls GET /v1/jobs/{id} until pred holds (2 s deadline).
+func pollJob(t *testing.T, s *Server, id string, what string, pred func(*JobBody) bool) *JobBody {
+	t.Helper()
+	var last *JobBody
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rec := do(t, s, "GET", "/v1/jobs/"+id, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET job: %d: %s", rec.Code, rec.Body.String())
+		}
+		last = decodeJob(t, rec)
+		if pred(last) {
+			return last
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for job %s (%s); last state %+v", id, what, last)
+	return nil
+}
+
+func terminalState(j *JobBody) bool {
+	return j.State == stateDone || j.State == stateFailed || j.State == stateCanceled
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s := coreServer(t, Config{})
+	rec := do(t, s, "POST", "/v1/jobs", histRequest(300))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", rec.Code, rec.Body.String())
+	}
+	jb := decodeJob(t, rec)
+	if jb.ID == "" || (jb.State != stateQueued && jb.State != stateRunning) {
+		t.Fatalf("fresh job %+v", jb)
+	}
+	final := pollJob(t, s, jb.ID, "completion", terminalState)
+	if final.State != stateDone {
+		t.Fatalf("job ended %s (%+v), want done", final.State, final.Error)
+	}
+	if final.Result == nil || !(final.Result.Result.Mean > 0) {
+		t.Fatalf("done job without result: %+v", final)
+	}
+	if final.Result.RequestID != jb.ID {
+		t.Errorf("result request_id %q, want the job id %q", final.Result.RequestID, jb.ID)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	s := coreServer(t, Config{})
+	if rec := do(t, s, "GET", "/v1/jobs/j-nope", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("GET unknown job: %d", rec.Code)
+	}
+	if rec := do(t, s, "DELETE", "/v1/jobs/j-nope", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job: %d", rec.Code)
+	}
+}
+
+func TestJobCancel(t *testing.T) {
+	s := coreServer(t, Config{})
+	defer fault.Reset()
+	// ~1.2 s of injected stall in the truth rung gives DELETE a window.
+	fault.Arm(fault.SiteTruthRow, fault.Action{Kind: fault.Sleep, Delay: 200 * time.Millisecond})
+
+	rec := do(t, s, "POST", "/v1/jobs", map[string]any{"bench": c17, "truth": true})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", rec.Code, rec.Body.String())
+	}
+	jb := decodeJob(t, rec)
+	pollJob(t, s, jb.ID, "running", func(j *JobBody) bool { return j.State == stateRunning })
+
+	if rec := do(t, s, "DELETE", "/v1/jobs/"+jb.ID, nil); rec.Code != http.StatusOK {
+		t.Fatalf("cancel: %d", rec.Code)
+	}
+	final := pollJob(t, s, jb.ID, "cancellation", terminalState)
+	if final.State != stateCanceled {
+		t.Fatalf("job ended %s, want canceled", final.State)
+	}
+	if final.Error == nil || final.Error.Code != "canceled" {
+		t.Fatalf("canceled job error %+v, want code canceled", final.Error)
+	}
+}
+
+func TestJobProgressSnapshots(t *testing.T) {
+	s := coreServer(t, Config{})
+	release := make(chan struct{})
+	s.exec = func(ctx context.Context, req *EstimateRequest, id string, lvl loadLevel, depth int) (*EstimateResponse, error) {
+		rep := telemetry.StartProgress(ctx, "stub.stage", 4)
+		rep.Tick(1) // the first tick always passes the rate limit
+		<-release
+		rep.Done(4)
+		return &EstimateResponse{}, nil
+	}
+	rec := do(t, s, "POST", "/v1/jobs", histRequest(10))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d", rec.Code)
+	}
+	jb := decodeJob(t, rec)
+	seen := pollJob(t, s, jb.ID, "a progress snapshot", func(j *JobBody) bool { return j.Progress != nil })
+	if seen.Progress.Stage != "stub.stage" || seen.Progress.Done != 1 || seen.Progress.Total != 4 {
+		t.Errorf("progress %+v, want stage stub.stage 1/4", seen.Progress)
+	}
+	close(release)
+	if final := pollJob(t, s, jb.ID, "completion", terminalState); final.State != stateDone {
+		t.Fatalf("job ended %s, want done", final.State)
+	}
+}
+
+// TestJobExecFaultInjection proves an injected panic or failure at the
+// job-execution site lands the job in the failed state with a typed error —
+// and the worker pool survives to run the next job.
+func TestJobExecFaultInjection(t *testing.T) {
+	s := coreServer(t, Config{Workers: 1})
+	defer fault.Reset()
+
+	for _, kind := range []fault.Kind{fault.Error, fault.Panic} {
+		fault.Reset()
+		fault.Arm(fault.SiteJobExec, fault.Action{Kind: kind})
+		rec := do(t, s, "POST", "/v1/jobs", histRequest(100))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("submit under fault %v: %d", kind, rec.Code)
+		}
+		jb := decodeJob(t, rec)
+		final := pollJob(t, s, jb.ID, "failure", terminalState)
+		if final.State != stateFailed {
+			t.Fatalf("fault %v: job ended %s, want failed", kind, final.State)
+		}
+		if final.Error == nil || final.Error.Code != "numerical" {
+			t.Fatalf("fault %v: error %+v, want typed numerical", kind, final.Error)
+		}
+	}
+
+	// Pool not wedged: with the fault cleared the same submission succeeds.
+	fault.Reset()
+	rec := do(t, s, "POST", "/v1/jobs", histRequest(100))
+	jb := decodeJob(t, rec)
+	if final := pollJob(t, s, jb.ID, "recovery", terminalState); final.State != stateDone {
+		t.Fatalf("after clearing faults: job ended %s, want done", final.State)
+	}
+}
+
+func TestJobLiveCapSheds(t *testing.T) {
+	s := coreServer(t, Config{Workers: 1, MaxJobs: 2})
+	block := make(chan struct{})
+	defer close(block)
+	s.exec = func(ctx context.Context, req *EstimateRequest, id string, lvl loadLevel, depth int) (*EstimateResponse, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return &EstimateResponse{}, nil
+	}
+	for i := 0; i < 2; i++ {
+		if rec := do(t, s, "POST", "/v1/jobs", histRequest(10)); rec.Code != http.StatusAccepted {
+			t.Fatalf("job %d: %d", i, rec.Code)
+		}
+	}
+	rec := do(t, s, "POST", "/v1/jobs", histRequest(10))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("third live job: %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("job shed without Retry-After")
+	}
+}

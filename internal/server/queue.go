@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"leakest/internal/lkerr"
+	"leakest/internal/telemetry"
+)
+
+// Job states.
+const (
+	stateQueued   = "queued"
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateCanceled = "canceled"
+)
+
+// job is one asynchronous estimation with its own lifecycle: it is admitted
+// through the same worker pool as synchronous requests, reports progress
+// snapshots while running, and can be canceled at any point before
+// completion.
+type job struct {
+	id  string
+	req *EstimateRequest
+
+	cancel context.CancelFunc
+	done   chan struct{} // closed on any terminal state
+
+	mu       sync.Mutex
+	state    string
+	progress *telemetry.Progress
+	resp     *EstimateResponse
+	errInfo  *ErrorInfo
+}
+
+// snapshot renders the job's current state for the wire.
+func (j *job) snapshot() JobBody {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b := JobBody{ID: j.id, State: j.state, Result: j.resp, Error: j.errInfo}
+	if j.progress != nil && j.state == stateRunning {
+		b.Progress = progressBody(*j.progress)
+	}
+	return b
+}
+
+// onProgress is the telemetry ProgressFunc: it retains the latest snapshot
+// for GET /v1/jobs/{id}.
+func (j *job) onProgress(p telemetry.Progress) {
+	j.mu.Lock()
+	j.progress = &p
+	j.mu.Unlock()
+}
+
+// setRunning transitions queued → running; it fails if the job was already
+// canceled.
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != stateQueued {
+		return false
+	}
+	j.state = stateRunning
+	return true
+}
+
+// finish records the terminal state. Cancellation errors land in the
+// canceled state; everything else failed/done.
+func (j *job) finish(resp *EstimateResponse, err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = stateDone
+		j.resp = resp
+	case lkerr.IsCode(err, lkerr.Canceled):
+		j.state = stateCanceled
+		j.errInfo = &ErrorInfo{Code: errorCodeString(err), Message: err.Error()}
+	default:
+		j.state = stateFailed
+		j.errInfo = &ErrorInfo{Code: errorCodeString(err), Message: err.Error()}
+	}
+	state := j.state
+	j.mu.Unlock()
+	telemetry.Inc(telemetry.Label("server_jobs_total", "state", state))
+	close(j.done)
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == stateDone || j.state == stateFailed || j.state == stateCanceled
+}
+
+// jobSet owns the job table: a cap on live (queued+running) jobs — beyond it
+// submissions are shed like synchronous requests — and bounded retention of
+// finished jobs, evicted oldest-first.
+type jobSet struct {
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // insertion order, for retention eviction
+	maxLive int
+	maxKeep int
+}
+
+func newJobSet(maxLive, maxKeep int) *jobSet {
+	if maxLive < 1 {
+		maxLive = 64
+	}
+	if maxKeep < 1 {
+		maxKeep = 256
+	}
+	return &jobSet{jobs: make(map[string]*job), maxLive: maxLive, maxKeep: maxKeep}
+}
+
+// add registers a new job, refusing when the live-job cap is reached.
+func (s *jobSet) add(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := 0
+	for _, k := range s.order {
+		if !s.jobs[k].terminal() {
+			live++
+		}
+	}
+	if live >= s.maxLive {
+		return &errShed{retryAfterS: 5}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	return nil
+}
+
+// get looks a job up by ID.
+func (s *jobSet) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention cap.
+func (s *jobSet) evictLocked() {
+	if len(s.order) <= s.maxKeep {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.maxKeep
+	for _, k := range s.order {
+		if excess > 0 && s.jobs[k].terminal() {
+			delete(s.jobs, k)
+			excess--
+			continue
+		}
+		kept = append(kept, k)
+	}
+	s.order = kept
+}

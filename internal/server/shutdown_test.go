@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"leakest/internal/fault"
+)
+
+func TestShutdownIdleReturnsImmediately(t *testing.T) {
+	s := coreServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("idle shutdown: %v", err)
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Errorf("idle shutdown took %v", el)
+	}
+}
+
+// TestShutdownDrainsInFlight: SIGTERM semantics — in-flight work completes
+// under the drain deadline and is served normally, while new work is refused
+// with 503 the moment draining begins.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	s := coreServer(t, Config{Workers: 1})
+	defer fault.Reset()
+	fault.Arm(fault.SiteTruthRow, fault.Action{Kind: fault.Sleep, Delay: 50 * time.Millisecond})
+
+	inflight := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		inflight <- do(t, s, "POST", "/v1/estimate", map[string]any{"bench": c17, "truth": true})
+	}()
+	waitFor(t, "request to start", func() bool { return fault.Hits(fault.SiteTruthRow) >= 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	rec := <-inflight
+	if rec.Code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeResp(t, rec)
+	if resp.Result.Method != "true-n2" {
+		t.Errorf("drained request served %q, want the full true-n2 answer", resp.Result.Method)
+	}
+
+	// Draining refuses new work across every write entry point.
+	if rec := do(t, s, "POST", "/v1/estimate", histRequest(10)); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("estimate while draining: %d, want 503", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/jobs", histRequest(10)); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("job submit while draining: %d, want 503", rec.Code)
+	}
+	if rec := do(t, s, "GET", "/healthz", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", rec.Code)
+	}
+}
+
+// TestShutdownForcesCancelPastDeadline: when the drain deadline expires with
+// work still running, the server lifetime is canceled and the work unwinds
+// through the typed cancellation path instead of being abandoned.
+func TestShutdownForcesCancelPastDeadline(t *testing.T) {
+	s := coreServer(t, Config{Workers: 1})
+	defer fault.Reset()
+	// ~2.4 s of injected stall: far beyond the 100 ms drain deadline.
+	fault.Arm(fault.SiteTruthRow, fault.Action{Kind: fault.Sleep, Delay: 400 * time.Millisecond})
+
+	inflight := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		inflight <- do(t, s, "POST", "/v1/estimate", map[string]any{"bench": c17, "truth": true})
+	}()
+	waitFor(t, "request to start", func() bool { return fault.Hits(fault.SiteTruthRow) >= 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Shutdown(ctx)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("forced shutdown did not unwind: %v", err)
+	}
+	// Must return well before the work's natural ~2.4 s duration: one
+	// 100 ms deadline plus at most one 400 ms row until the cancel lands.
+	if elapsed > 1500*time.Millisecond {
+		t.Errorf("forced shutdown took %v, want prompt unwind after cancel", elapsed)
+	}
+	rec := <-inflight
+	if rec.Code == http.StatusOK {
+		t.Fatalf("force-canceled request reported success: %s", rec.Body.String())
+	}
+	if rec.Code != http.StatusServiceUnavailable && rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("force-canceled request: %d, want 503 (canceled) or 504", rec.Code)
+	}
+}
+
+// TestShutdownCancelsQueuedJobs: a job still queued when the forced cancel
+// lands ends canceled, not wedged.
+func TestShutdownCancelsQueuedJobs(t *testing.T) {
+	s := coreServer(t, Config{Workers: 1, QueueCap: 8})
+	block := make(chan struct{})
+	defer close(block)
+	s.exec = func(ctx context.Context, req *EstimateRequest, id string, lvl loadLevel, depth int) (*EstimateResponse, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &EstimateResponse{}, nil
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		rec := do(t, s, "POST", "/v1/jobs", histRequest(10))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("job %d: %d", i, rec.Code)
+		}
+		ids = append(ids, decodeJob(t, rec).ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with queued jobs: %v", err)
+	}
+	for _, id := range ids {
+		j, ok := s.jobs.get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if !j.terminal() {
+			t.Errorf("job %s still %s after shutdown", id, j.snapshot().State)
+		}
+	}
+}

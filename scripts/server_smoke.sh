@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# server_smoke.sh — end-to-end smoke test for leakestd, the estimation
+# service. Builds the binary, boots it on a loopback port, and verifies:
+#
+#   1. POST /v1/estimate on a small histogram design answers 200 with
+#      finite moments;
+#   2. concurrent duplicate requests are collapsed by the singleflight
+#      artifact cache (exactly one library characterization, the rest
+#      served as cache hits — read off /metrics);
+#   3. SIGTERM drains and the process exits 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building leakestd"
+go build -o "$tmp/leakestd" ./cmd/leakestd
+
+echo "== starting leakestd"
+"$tmp/leakestd" -addr 127.0.0.1:0 -cells iscas -char-mc 2000 -workers 2 \
+  >"$tmp/log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/.*serving on \([0-9.]*:[0-9]*\).*/\1/p' "$tmp/log")
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { cat "$tmp/log" >&2; echo "leakestd died on startup" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { cat "$tmp/log" >&2; echo "leakestd never reported its address" >&2; exit 1; }
+echo "   listening on $addr"
+
+body='{"design":{"hist":{"INV_X1":3,"NAND2_X1":2,"NOR2_X1":1},"n":2000,"w_um":500,"h_um":500}}'
+
+echo "== POST /v1/estimate (small histogram design)"
+code=$(curl -s -o "$tmp/resp1.json" -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d "$body" "http://$addr/v1/estimate")
+[ "$code" = 200 ] || { cat "$tmp/resp1.json" >&2; echo "estimate answered $code, want 200" >&2; exit 1; }
+grep -Eq '"mean_a": *[0-9]' "$tmp/resp1.json" || { cat "$tmp/resp1.json" >&2; echo "no finite mean in response" >&2; exit 1; }
+grep -Eq '"std_a": *[0-9]'  "$tmp/resp1.json" || { cat "$tmp/resp1.json" >&2; echo "no finite std in response" >&2; exit 1; }
+echo "   200 with finite moments"
+
+echo "== 4 concurrent duplicate requests (singleflight check)"
+for i in 1 2 3 4; do
+  curl -s -o "$tmp/dup$i.json" -H 'Content-Type: application/json' \
+    -d "$body" "http://$addr/v1/estimate" &
+done
+wait $(jobs -p | grep -v "^$pid$") 2>/dev/null || true
+for i in 1 2 3 4; do
+  grep -Eq '"mean_a": *[0-9]' "$tmp/dup$i.json" || { cat "$tmp/dup$i.json" >&2; echo "duplicate $i lacks a finite mean" >&2; exit 1; }
+done
+
+curl -s "http://$addr/metrics" >"$tmp/metrics"
+misses=$(sed -n 's/^server_cache_misses_total{artifact="library"} //p' "$tmp/metrics")
+hits=$(sed -n 's/^server_cache_hits_total{artifact="library"} //p' "$tmp/metrics")
+[ "${misses:-0}" = 1 ] || { echo "library characterized ${misses:-0} times across 5 requests, want exactly 1 (singleflight)" >&2; exit 1; }
+[ "${hits:-0}" -ge 4 ] || { echo "library cache hits ${hits:-0}, want >= 4" >&2; exit 1; }
+echo "   1 characterization, $hits cache hits across 5 requests"
+
+echo "== SIGTERM drain"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" = 0 ] || { cat "$tmp/log" >&2; echo "leakestd exited $rc on SIGTERM, want 0" >&2; exit 1; }
+grep -q "drained cleanly" "$tmp/log" || { cat "$tmp/log" >&2; echo "no clean-drain log line" >&2; exit 1; }
+echo "   drained cleanly"
+
+echo "server smoke: OK"
