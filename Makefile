@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race race-parallel fuzz bench conformance server-smoke
+.PHONY: build test check vet race race-parallel fuzz bench conformance server-smoke tracecheck
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,15 @@ conformance:
 # (singleflight, read off /metrics), and SIGTERM must drain to exit 0.
 server-smoke:
 	./scripts/server_smoke.sh
+
+# tracecheck pins the tracing layer's zero-overhead contract: with no trace,
+# no registry and no logger attached, every instrumentation hook — and the
+# chipmc trial loop they sit on — must be allocation-free. The AllocsPerRun
+# tests fail on any regression, so this is the cheap CI gate for changes that
+# touch the disabled telemetry path.
+tracecheck:
+	$(GO) test ./internal/telemetry/ -run 'TestDisabledTracingAllocFree|TestSpanNoopWhenAllSinksOff'
+	$(GO) test ./internal/chipmc/ -run TestTrialBodyAllocs
 
 # A short fuzz pass over the .bench parser; CI runs the seed corpus via
 # `go test`, this target digs further locally.

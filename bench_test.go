@@ -430,6 +430,55 @@ func BenchmarkTrueLeakageWorkers(b *testing.B) {
 	}
 }
 
+// counterDelta sums the growth of every counter whose full metric name
+// starts with base — label variants included — between two registry
+// snapshots taken with MetricsSnapshot.
+func counterDelta(before, after map[string]any, base string) (float64, string) {
+	var total float64
+	var topLabel string
+	var topDelta float64
+	for name, v := range after {
+		if name != base && !strings.HasPrefix(name, base+"{") {
+			continue
+		}
+		cur, ok := v.(int64)
+		if !ok {
+			continue
+		}
+		prev, _ := before[name].(int64)
+		d := float64(cur - prev)
+		total += d
+		if d > topDelta {
+			topDelta = d
+			// `base{key="value"}` → value of the first label.
+			topLabel = name
+			if i := strings.IndexByte(topLabel, '"'); i >= 0 {
+				topLabel = topLabel[i+1:]
+				if j := strings.IndexByte(topLabel, '"'); j >= 0 {
+					topLabel = topLabel[:j]
+				}
+			}
+		}
+	}
+	return total, topLabel
+}
+
+// reportHealthMetrics attaches the run's numerical-health facts to the
+// benchmark line (and through cmd/benchjson to BENCH_leakest.json): which
+// sampler the MC actually used, how many degradations fired, and how many
+// artifact-cache hits were served while the timer ran.
+func reportHealthMetrics(b *testing.B, before map[string]any) {
+	b.Helper()
+	after := MetricsSnapshot()
+	if runs, sampler := counterDelta(before, after, "chipmc_sampler_runs_total"); runs > 0 && sampler != "" {
+		b.ReportMetric(runs/float64(b.N), "sampler:"+sampler)
+	}
+	deg, _ := counterDelta(before, after, "degradations_total")
+	b.ReportMetric(deg/float64(b.N), "degradations/op")
+	hits, _ := counterDelta(before, after, "server_cache_hits_total")
+	b.ReportMetric(hits/float64(b.N), "cache-hits/op")
+}
+
 // BenchmarkChipMCFFT measures the full-chip Monte Carlo with the
 // circulant-embedding FFT sampler on a 10 000-gate placed design — 2.5×
 // beyond the dense sampler's gate limit, where the O(S log S) per-trial
@@ -450,12 +499,16 @@ func BenchmarkChipMCFFT(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	EnableMetrics()
+	before := MetricsSnapshot()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := est.MonteCarlo(nl, pl, 0.5, 64, 7); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	reportHealthMetrics(b, before)
 }
 
 // BenchmarkTruthClassed measures the O(n²) truth with the distance-class

@@ -96,12 +96,15 @@ func degradable(ctx context.Context, err error) bool {
 }
 
 // noteDegradation records one fall down the ladder in the telemetry layer:
-// degradations_total{reason=<kind>} plus a structured warning naming the
-// skipped rung. No-op cost when telemetry is disabled.
-func noteDegradation(rung, kind, why string) {
+// degradations_total{reason=<kind>}, a structured warning naming the skipped
+// rung, and — when ctx carries a trace — a "degraded.<rung>" span attribute
+// so the flight recorder shows which rung fell and why. No-op cost when
+// telemetry is disabled.
+func noteDegradation(ctx context.Context, rung, kind, why string) {
 	if telemetry.MetricsOn() {
 		telemetry.Inc(telemetry.Label("degradations_total", "reason", kind))
 	}
+	telemetry.SpanAttrStr(ctx, "degraded."+rung, kind+": "+why)
 	telemetry.Warn("estimation degraded", "rung", rung, "reason", kind, "detail", why)
 }
 
@@ -128,6 +131,10 @@ func (e *Estimator) EstimateBudgeted(ctx context.Context, design Design, budget 
 		return Result{}, err
 	}
 	ctx, tr := telemetry.EnsureTrace(ctx)
+	ctx, endEst := telemetry.WithSpan(ctx, "estimate")
+	defer endEst()
+	telemetry.SpanAttrInt(ctx, "gates", int64(design.N))
+	defer func() { resultAttrs(ctx, res, err) }()
 	m, err := e.newModelCtx(ctx, design)
 	if err != nil {
 		return Result{}, err
@@ -135,7 +142,7 @@ func (e *Estimator) EstimateBudgeted(ctx context.Context, design Design, budget 
 	var reasons []string
 
 	if ok, kind, why := budget.allowsLinear(design.N); !ok {
-		noteDegradation("o(n)", kind, why)
+		noteDegradation(ctx, "o(n)", kind, why)
 		reasons = append(reasons, why)
 	} else {
 		rctx, cancel := budget.rungCtx(ctx)
@@ -149,7 +156,7 @@ func (e *Estimator) EstimateBudgeted(ctx context.Context, design Design, budget 
 		if !degradable(ctx, err) {
 			return Result{}, err
 		}
-		noteDegradation("o(n)", reasonKindOf(err), err.Error())
+		noteDegradation(ctx, "o(n)", reasonKindOf(err), err.Error())
 		reasons = append(reasons, "o(n) "+reasonOf(err))
 	}
 
@@ -170,6 +177,9 @@ func (e *Estimator) EstimateBudgeted(ctx context.Context, design Design, budget 
 func (e *Estimator) TrueLeakageBudgeted(ctx context.Context, nl *Netlist, pl *Placement, signalProb float64, budget EstimateBudget) (res Result, err error) {
 	defer lkerr.RecoverInto(&err, "leakest.TrueLeakageBudgeted")
 	ctx, tr := telemetry.EnsureTrace(ctx)
+	ctx, endTruth := telemetry.WithSpan(ctx, "true_leakage")
+	defer endTruth()
+	defer func() { resultAttrs(ctx, res, err) }()
 	endExtract := telemetry.StartSpan(ctx, "core.extract")
 	design, err := e.ExtractDesign(nl, pl, signalProb)
 	endExtract()
@@ -184,7 +194,7 @@ func (e *Estimator) TrueLeakageBudgeted(ctx context.Context, nl *Netlist, pl *Pl
 
 	// Rung 1: the O(n²) pairwise sum.
 	if ok, kind, why := budget.allowsTruth(design.N); !ok {
-		noteDegradation("o(n²)", kind, why)
+		noteDegradation(ctx, "o(n²)", kind, why)
 		reasons = append(reasons, why)
 	} else {
 		rctx, cancel := budget.rungCtx(ctx)
@@ -198,13 +208,13 @@ func (e *Estimator) TrueLeakageBudgeted(ctx context.Context, nl *Netlist, pl *Pl
 		if !degradable(ctx, err) {
 			return Result{}, err
 		}
-		noteDegradation("o(n²)", reasonKindOf(err), err.Error())
+		noteDegradation(ctx, "o(n²)", reasonKindOf(err), err.Error())
 		reasons = append(reasons, "o(n²) "+reasonOf(err))
 	}
 
 	// Rung 2: the exact O(n) linear method.
 	if ok, kind, why := budget.allowsLinear(design.N); !ok {
-		noteDegradation("o(n)", kind, why)
+		noteDegradation(ctx, "o(n)", kind, why)
 		reasons = append(reasons, why)
 	} else {
 		rctx, cancel := budget.rungCtx(ctx)
@@ -218,7 +228,7 @@ func (e *Estimator) TrueLeakageBudgeted(ctx context.Context, nl *Netlist, pl *Pl
 		if !degradable(ctx, err) {
 			return Result{}, err
 		}
-		noteDegradation("o(n)", reasonKindOf(err), err.Error())
+		noteDegradation(ctx, "o(n)", reasonKindOf(err), err.Error())
 		reasons = append(reasons, "o(n) "+reasonOf(err))
 	}
 
@@ -230,6 +240,20 @@ func (e *Estimator) TrueLeakageBudgeted(ctx context.Context, nl *Netlist, pl *Pl
 	res = e.finish(markDegraded(res, reasons))
 	res.Timings = tr.Stages()
 	return res, nil
+}
+
+// resultAttrs stamps the outcome of a budgeted run onto the current span:
+// the method that finally ran and, when the ladder fell, the degradation
+// flag and reason. Nil-check no-op without a trace.
+func resultAttrs(ctx context.Context, res Result, err error) {
+	if err != nil {
+		return
+	}
+	telemetry.SpanAttrStr(ctx, "method", res.Method)
+	if res.Degraded {
+		telemetry.SpanAttrBool(ctx, "degraded", true)
+		telemetry.SpanAttrStr(ctx, "degrade_reason", res.DegradeReason)
+	}
 }
 
 // constantTime runs the O(1) rung: the polar integral when the correlation

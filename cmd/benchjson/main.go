@@ -114,6 +114,13 @@ type Bench struct {
 	Procs   int                `json:"procs,omitempty"`
 	Workers int                `json:"workers,omitempty"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Numerical-health facts reported by the benchmarks themselves (see
+	// reportHealthMetrics in bench_test.go): the Monte-Carlo sampler the
+	// run actually used, and per-op degradation / artifact-cache-hit
+	// counts read from the telemetry registry.
+	Sampler      string  `json:"sampler,omitempty"`
+	Degradations float64 `json:"degradations_per_op,omitempty"`
+	CacheHits    float64 `json:"cache_hits_per_op,omitempty"`
 }
 
 // Report is the top-level document written to -o.
@@ -170,7 +177,15 @@ func parseLine(line string) (Bench, bool) {
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsOp = v
+		case "degradations/op":
+			b.Degradations = v
+		case "cache-hits/op":
+			b.CacheHits = v
 		default:
+			if s, ok := strings.CutPrefix(unit, "sampler:"); ok {
+				b.Sampler = s
+				continue
+			}
 			if b.Metrics == nil {
 				b.Metrics = map[string]float64{}
 			}

@@ -29,6 +29,23 @@ func TestParseLine(t *testing.T) {
 	}
 }
 
+func TestParseLineHealthMetrics(t *testing.T) {
+	line := "BenchmarkChipMCFFT-4 \t 1\t 305737340 ns/op\t 0.5 cache-hits/op\t 2 degradations/op\t 1.000 sampler:fft"
+	b, ok := parseLine(line)
+	if !ok {
+		t.Fatalf("line not recognized")
+	}
+	if b.Sampler != "fft" {
+		t.Errorf("sampler = %q, want fft", b.Sampler)
+	}
+	if b.CacheHits != 0.5 || b.Degradations != 2 {
+		t.Errorf("cache-hits/degradations = %v/%v, want 0.5/2", b.CacheHits, b.Degradations)
+	}
+	if len(b.Metrics) != 0 {
+		t.Errorf("promoted units must not also land in Metrics: %+v", b.Metrics)
+	}
+}
+
 func TestParseLineWorkersSubBenchmark(t *testing.T) {
 	b, ok := parseLine("BenchmarkTrueLeakageWorkers/workers=4-8 \t 3\t 41000000 ns/op")
 	if !ok {

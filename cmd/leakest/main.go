@@ -161,6 +161,7 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address during the run")
 	verbose := flag.Bool("v", false, "verbose: structured pipeline log and a live progress meter on stderr")
 	jsonReport := flag.String("json-report", "", "write a JSON run report (result, stage timings, metrics) to this path; \"-\" = stdout")
+	tracePath := flag.String("trace", "", "write the run's span tree as Chrome trace-event JSON (open in chrome://tracing) to this path")
 	flag.Parse()
 
 	// Ctrl-C cancels the run cleanly; -timeout bounds it. Both surface as
@@ -171,6 +172,11 @@ func main() {
 	defer stop()
 	prog.verbose = *verbose
 	ctx = leakest.WithProgress(ctx, prog.report)
+	var runTrace *leakest.Trace
+	if *tracePath != "" {
+		runTrace = leakest.NewTrace()
+		ctx = leakest.WithTrace(ctx, runTrace)
+	}
 	if *verbose {
 		leakest.SetLogger(slog.New(slog.NewTextHandler(os.Stderr,
 			&slog.HandlerOptions{Level: slog.LevelDebug})))
@@ -356,6 +362,28 @@ func main() {
 	if *jsonReport != "" {
 		writeJSONReport(*jsonReport, design, res, truthRes, mcRes)
 	}
+	if runTrace != nil {
+		writeTraceFile(*tracePath, runTrace)
+	}
+}
+
+// writeTraceFile renders the run's span tree as Chrome trace-event JSON.
+// Called at the end of main (not deferred): fail() exits the process, and a
+// half-written trace from a failed run would not be loadable anyway.
+func writeTraceFile(path string, tr *leakest.Trace) {
+	tr.SetOutcome("ok")
+	f, err := os.Create(path)
+	if err != nil {
+		fail("trace file: %v", err)
+	}
+	if err := leakest.WriteChromeTrace(f, tr.Snapshot()); err != nil {
+		f.Close()
+		fail("trace file: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("trace file: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote trace (%s) to %s\n", tr.ID(), path)
 }
 
 // runReport is the machine-readable summary written by -json-report: the

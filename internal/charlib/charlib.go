@@ -233,7 +233,8 @@ func Characterize(lib []*cells.Cell, cfg Config) (*Library, error) {
 // state's Monte-Carlo loop, so a cancel lands within one check interval.
 func CharacterizeContext(ctx context.Context, lib []*cells.Cell, cfg Config) (*Library, error) {
 	const op = "charlib.Characterize"
-	defer telemetry.StartSpan(ctx, "charlib.characterize")()
+	ctx, endChar := telemetry.WithSpan(ctx, "charlib.characterize")
+	defer endChar()
 	if err := cfg.setDefaults(); err != nil {
 		return nil, lkerr.Wrap(lkerr.InvalidInput, op, err)
 	}
@@ -250,6 +251,8 @@ func CharacterizeContext(ctx context.Context, lib []*cells.Cell, cfg Config) (*L
 	for _, cell := range lib {
 		totalStates += int64(cell.NumStates())
 	}
+	telemetry.SpanAttrInt(ctx, "charlib.cells", int64(len(lib)))
+	telemetry.SpanAttrInt(ctx, "charlib.states", totalStates)
 	rep := telemetry.StartProgress(ctx, "charlib.characterize", totalStates)
 	var cellsC *telemetry.Counter
 	if r := telemetry.Default(); r != nil {

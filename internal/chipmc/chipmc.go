@@ -21,6 +21,7 @@ package chipmc
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -314,6 +315,8 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	if n == 0 {
 		return Result{}, lkerr.New(lkerr.InvalidInput, op, "empty netlist")
 	}
+	ctx, endRun := telemetry.WithSpan(ctx, "chipmc.run")
+	defer endRun()
 	use, maxGates, err := resolveSampler(cfg, n)
 	if err != nil {
 		return Result{}, err
@@ -364,8 +367,9 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 		var gerr error
 		if cfg.Prebuilt != nil && cfg.Prebuilt.Grid() == pl.Grid {
 			gs = cfg.Prebuilt
+			telemetry.SpanAttrBool(ctx, "chipmc.prebuilt_embedding", true)
 		} else {
-			gs, gerr = randvar.NewGridSampler(cfg.Proc, pl.Grid)
+			gs, gerr = randvar.NewGridSamplerContext(ctx, cfg.Proc, pl.Grid)
 		}
 		if gerr == nil {
 			if ferr := fault.Failure(fault.SiteFFTSetup); ferr != nil {
@@ -377,10 +381,16 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 		case gerr == nil:
 			runner.grid = gs
 			runner.sites = pl.Site
+			// Numerical-health facts of the embedding: how much eigenvalue
+			// clamping the torus absorbed and how large it had to grow.
+			tm, tn := gs.TorusDims()
+			telemetry.SpanAttrStr(ctx, "chipmc.torus", fmt.Sprintf("%dx%d", tm, tn))
+			telemetry.SpanAttrFloat(ctx, "chipmc.clamp_bias", gs.ClampBias())
 		case cfg.Sampler == SamplerAuto && cfg.MaxGates != 0 && n <= cfg.MaxGates:
 			// The embedding failed, but the caller's explicit gate budget
 			// admits the dense path: degrade gracefully and record it.
 			telemetry.Add("chipmc_sampler_fallback_total", 1)
+			telemetry.SpanAttrBool(ctx, "chipmc.fallback", true)
 			use = SamplerDense
 		default:
 			return Result{}, lkerr.Wrap(lkerr.Numerical, op, gerr)
@@ -404,6 +414,10 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	workers := parallel.Resolve(cfg.Workers, cfg.Samples)
 	runner.bufs = make([]trialBuf, workers)
 	totals := make([]float64, cfg.Samples)
+	telemetry.Inc(telemetry.Label("chipmc_sampler_runs_total", "sampler", use.String()))
+	telemetry.SpanAttrStr(ctx, "chipmc.sampler", use.String())
+	telemetry.SpanAttrInt(ctx, "chipmc.trials", int64(cfg.Samples))
+	telemetry.SpanAttrInt(ctx, "chipmc.workers", int64(workers))
 	endTrials := telemetry.StartSpan(ctx, "chipmc.trials")
 	rep := telemetry.StartProgress(ctx, "chipmc.trials", int64(cfg.Samples))
 	tick := parallel.NewTicker(rep)

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"leakest/internal/lkerr"
 	"leakest/internal/telemetry"
@@ -60,20 +61,42 @@ func Resolve(workers, n int) int {
 //
 // workers == 1 runs inline on the calling goroutine — exactly the serial
 // loop, with the same per-iteration cancellation checkpoint.
+//
+// When ctx carries a telemetry trace, each worker goroutine is recorded as
+// one "<op>.shard" child span of the context's current span. Workers only
+// write their own shard slot; the spans are merged into the trace after the
+// join, in worker-index order, so the trace structure is deterministic at
+// any worker count (shard spans never enter the flat Stages breakdown —
+// Result.Timings stays independent of the pool size). Without a trace the
+// path allocates nothing.
 func ForEach(ctx context.Context, op string, workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	workers = Resolve(workers, n)
+	tr, parent := telemetry.SpanContext(ctx)
+	var shards []shardStat
+	if tr != nil {
+		shards = make([]shardStat, workers)
+	}
 	if workers == 1 {
+		if shards != nil {
+			shards[0].start = time.Now()
+		}
 		for i := 0; i < n; i++ {
 			if err := lkerr.FromContext(ctx, op); err != nil {
+				mergeShards(tr, parent, op, shards)
 				return err
 			}
 			if err := fn(0, i); err != nil {
+				mergeShards(tr, parent, op, shards)
 				return err
 			}
+			if shards != nil {
+				shards[0].tasks++
+			}
 		}
+		mergeShards(tr, parent, op, shards)
 		return nil
 	}
 
@@ -115,6 +138,12 @@ func ForEach(ctx context.Context, op string, workers, n int, fn func(worker, i i
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			if shards != nil {
+				// Worker w owns slot w exclusively; the coordinating
+				// goroutine reads it only after wg.Wait.
+				shards[w].start = time.Now()
+				defer func() { shards[w].end = time.Now() }()
+			}
 			for {
 				if stop.Load() {
 					return
@@ -128,15 +157,50 @@ func ForEach(ctx context.Context, op string, workers, n int, fn func(worker, i i
 					return
 				}
 				runTask(w, i)
+				if shards != nil {
+					shards[w].tasks++
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	mergeShards(tr, parent, op, shards)
 
 	if firstPan != nil && panIdx <= errIdx {
 		panic(firstPan)
 	}
 	return firstErr
+}
+
+// shardStat is one worker goroutine's lifetime and task count; each worker
+// writes only its own slot, read by the coordinator after the join.
+type shardStat struct {
+	start time.Time
+	end   time.Time
+	tasks int
+}
+
+// mergeShards folds the per-worker shard stats into the trace as
+// "<op>.shard" child spans, in worker-index order — the deterministic merge
+// the pool's determinism contract extends to tracing. No-op without a
+// trace.
+func mergeShards(tr *telemetry.Trace, parent int, op string, shards []shardStat) {
+	if tr == nil || shards == nil {
+		return
+	}
+	for w := range shards {
+		s := shards[w]
+		if s.start.IsZero() {
+			continue
+		}
+		end := s.end
+		if end.IsZero() {
+			end = time.Now()
+		}
+		tr.AddSpanAt(parent, op+".shard", s.start, end.Sub(s.start),
+			telemetry.Attr{Key: "worker", Value: w},
+			telemetry.Attr{Key: "tasks", Value: s.tasks})
+	}
 }
 
 // Ticker serializes per-task progress ticks from pool workers onto one

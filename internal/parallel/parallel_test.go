@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"leakest/internal/lkerr"
+	"leakest/internal/telemetry"
 )
 
 func TestResolve(t *testing.T) {
@@ -164,6 +165,106 @@ func TestForEachNoGoroutineLeak(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Errorf("goroutines settled at %d, started with %d", runtime.NumGoroutine(), before)
+}
+
+// shardSpans returns the "<op>.shard" spans of tr's snapshot, in recorded
+// order.
+func shardSpans(t *testing.T, tr *telemetry.Trace, op string) []telemetry.SpanSnapshot {
+	t.Helper()
+	var out []telemetry.SpanSnapshot
+	for _, sp := range tr.Snapshot().Spans {
+		if sp.Stage == op+".shard" {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func TestForEachShardSpansDeterministicStructure(t *testing.T) {
+	// The tracing extension of the pool's determinism contract: the merged
+	// shard spans have identical structure at every worker count and across
+	// repeated runs — names, parent, one span per started worker, worker
+	// attrs in index order. Only timings may differ.
+	const n = 23
+	for _, workers := range []int{1, 2, 4, 8} {
+		for run := 0; run < 3; run++ {
+			tr := telemetry.NewTrace()
+			ctx := telemetry.WithTrace(context.Background(), tr)
+			ctx, end := telemetry.WithSpan(ctx, "mc")
+			err := ForEach(ctx, "chipmc", workers, n, func(w, i int) error { return nil })
+			end()
+			if err != nil {
+				t.Fatal(err)
+			}
+			spans := shardSpans(t, tr, "chipmc")
+			want := Resolve(workers, n)
+			if len(spans) != want {
+				t.Fatalf("workers=%d run=%d: %d shard spans, want %d", workers, run, len(spans), want)
+			}
+			snap := tr.Snapshot()
+			var parentID int
+			for _, sp := range snap.Spans {
+				if sp.Stage == "mc" {
+					parentID = sp.ID
+				}
+			}
+			tasks := 0
+			for w, sp := range spans {
+				if sp.Parent != parentID {
+					t.Errorf("workers=%d: shard %d parent = %d, want %d", workers, w, sp.Parent, parentID)
+				}
+				if len(sp.Attrs) != 2 || sp.Attrs[0].Key != "worker" || sp.Attrs[0].Value != w {
+					t.Errorf("workers=%d: shard %d attrs = %+v, want worker=%d first", workers, w, sp.Attrs, w)
+				}
+				if sp.Attrs[1].Key != "tasks" {
+					t.Errorf("workers=%d: shard %d second attr = %+v, want tasks", workers, w, sp.Attrs[1])
+				}
+				tasks += sp.Attrs[1].Value.(int)
+			}
+			if tasks != n {
+				t.Errorf("workers=%d run=%d: shard task counts sum to %d, want %d", workers, run, tasks, n)
+			}
+		}
+	}
+}
+
+func TestForEachShardSpansSkipFlatStages(t *testing.T) {
+	// Result.Timings is built from the trace's flat stage list; shard spans
+	// must never land there or timings would vary with the worker count.
+	tr := telemetry.NewTrace()
+	ctx := telemetry.WithTrace(context.Background(), tr)
+	if err := ForEach(ctx, "op", 4, 16, func(w, i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if stages := tr.Stages(); len(stages) != 0 {
+		t.Errorf("shard spans leaked into Stages: %+v", stages)
+	}
+}
+
+func TestForEachShardSpansMergedOnError(t *testing.T) {
+	tr := telemetry.NewTrace()
+	ctx := telemetry.WithTrace(context.Background(), tr)
+	boom := errors.New("boom")
+	err := ForEach(ctx, "op", 4, 16, func(w, i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(shardSpans(t, tr, "op")) == 0 {
+		t.Errorf("no shard spans merged on the error path")
+	}
+}
+
+func TestForEachNoTraceNoSpans(t *testing.T) {
+	// Without a trace the pool must not record anything (and, per the
+	// zero-overhead contract, not allocate shard stats at all).
+	if err := ForEach(context.Background(), "op", 4, 16, func(w, i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestTickerNilSafe(t *testing.T) {

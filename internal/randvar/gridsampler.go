@@ -1,6 +1,7 @@
 package randvar
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"leakest/internal/fft"
 	"leakest/internal/placement"
 	"leakest/internal/spatial"
+	"leakest/internal/telemetry"
 )
 
 // embedClampTol is the relative tolerance (against the largest eigenvalue)
@@ -74,6 +76,22 @@ type GridSampler struct {
 	// clampBias is the clamped negative spectral mass relative to the kernel
 	// variance; 0 for an exact embedding.
 	clampBias float64
+}
+
+// NewGridSamplerContext is NewGridSampler under a "randvar.grid_embed"
+// trace span: when ctx carries a trace, the embedding's numerical-health
+// facts — torus size and clamped eigenvalue mass — are recorded as span
+// attributes, so a traced request shows how much bias the torus absorbed.
+// Construction itself is identical to NewGridSampler.
+func NewGridSamplerContext(ctx context.Context, proc *spatial.Process, grid placement.Grid) (*GridSampler, error) {
+	end := telemetry.StartSpan(ctx, "randvar.grid_embed")
+	s, err := NewGridSampler(proc, grid)
+	end()
+	if err == nil {
+		telemetry.SpanAttrStr(ctx, "embed.torus", fmt.Sprintf("%dx%d", s.tm, s.tn))
+		telemetry.SpanAttrFloat(ctx, "embed.clamp_bias", s.clampBias)
+	}
+	return s, err
 }
 
 // NewGridSampler builds the embedding for the process's WID kernel on the

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 
 	"leakest"
@@ -55,8 +56,17 @@ func (e *errShed) Error() string { return "server overloaded, request shed" }
 type admission struct {
 	sem      chan struct{} // one token per worker
 	workers  int
-	queueCap int          // hard cap on concurrently waiting requests
-	waiting  atomic.Int64 // requests blocked on sem
+	queueCap int // hard cap on concurrently waiting requests
+
+	// waiting counts requests blocked on sem. It is mutex-guarded (not an
+	// atomic) because every change must publish the post-change value to the
+	// server_queue_depth gauge in the same critical section: with separate
+	// count and gauge steps, a goroutine descheduled between them can
+	// publish a stale depth after the queue has drained, leaving the gauge
+	// stuck nonzero — which the shed path (429) made likely under hammer
+	// load.
+	mu      sync.Mutex
+	waiting int
 }
 
 func newAdmission(workers, queueCap int) *admission {
@@ -79,27 +89,22 @@ func (a *admission) acquire(ctx context.Context) (release func(), lvl loadLevel,
 	// Fast path: a free worker, no queueing, no load budget.
 	select {
 	case a.sem <- struct{}{}:
-		return a.releaseFunc(), levelNormal, int(a.waiting.Load()), nil
+		return a.releaseFunc(), levelNormal, a.queueDepth(), nil
 	default:
 	}
 
-	w := a.waiting.Add(1)
-	telemetry.SetGauge("server_queue_depth", float64(a.queueDepth()))
-	if int(w) > a.queueCap {
-		a.waiting.Add(-1)
-		telemetry.SetGauge("server_queue_depth", float64(a.queueDepth()))
+	w := a.addWaiting(1)
+	if w > a.queueCap {
+		a.addWaiting(-1)
 		telemetry.Inc("server_shed_total")
-		return nil, 0, int(w), &errShed{retryAfterS: a.retryAfter(int(w))}
+		return nil, 0, w, &errShed{retryAfterS: a.retryAfter(w)}
 	}
-	defer func() {
-		a.waiting.Add(-1)
-		telemetry.SetGauge("server_queue_depth", float64(a.queueDepth()))
-	}()
+	defer a.addWaiting(-1)
 	select {
 	case a.sem <- struct{}{}:
 		// Classify from the depth seen while this request waited: how many
 		// were in line with it (itself included) when it won a slot.
-		depth = int(w)
+		depth = w
 		switch {
 		case depth > 2*a.workers:
 			lvl = levelOverload
@@ -110,8 +115,22 @@ func (a *admission) acquire(ctx context.Context) (release func(), lvl loadLevel,
 		}
 		return a.releaseFunc(), lvl, depth, nil
 	case <-ctx.Done():
-		return nil, 0, int(w), lkerr.FromContext(ctx, "server.admission")
+		return nil, 0, w, lkerr.FromContext(ctx, "server.admission")
 	}
+}
+
+// addWaiting adjusts the waiting count and publishes the post-change depth
+// to the server_queue_depth gauge inside one critical section, returning the
+// new count. Because count and gauge move together, the gauge always ends at
+// the true depth — in particular at zero once the queue drains, no matter
+// how increments, decrements, and shed rejections interleave.
+func (a *admission) addWaiting(delta int) int {
+	a.mu.Lock()
+	a.waiting += delta
+	w := a.waiting
+	telemetry.SetGauge("server_queue_depth", float64(w))
+	a.mu.Unlock()
+	return w
 }
 
 func (a *admission) releaseFunc() func() {
@@ -124,7 +143,11 @@ func (a *admission) releaseFunc() func() {
 }
 
 // queueDepth reports the number of requests currently waiting for a worker.
-func (a *admission) queueDepth() int { return int(a.waiting.Load()) }
+func (a *admission) queueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting
+}
 
 // retryAfter estimates seconds until the queue likely has room: one second
 // per full queue round per worker, capped.

@@ -3,10 +3,13 @@ package server
 import (
 	"context"
 	"errors"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"leakest"
+	"leakest/internal/telemetry"
 )
 
 // waitFor polls cond up to 2 s.
@@ -80,6 +83,48 @@ func TestAdmissionLevelsAndShed(t *testing.T) {
 		if seen[lvl] != 1 {
 			t.Fatalf("admitted levels %v, want exactly one each of %v", seen, want)
 		}
+	}
+}
+
+// TestAdmissionQueueGaugeZeroAfterHammer hammers a tiny pool from many
+// goroutines — shed rejections, canceled waiters, and normal completions all
+// interleaving — and asserts the server_queue_depth gauge ends at exactly
+// zero. Regression for the stale-gauge race: count and gauge used to be
+// updated in separate steps, so a goroutine descheduled between them (most
+// likely on the 429 shed path) could publish a stale nonzero depth last.
+func TestAdmissionQueueGaugeZeroAfterHammer(t *testing.T) {
+	r := telemetry.Enable()
+	a := newAdmission(2, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx := context.Background()
+				if i%7 == 3 {
+					// A mix of already-dead contexts exercises the
+					// canceled-waiter decrement path.
+					c, cancel := context.WithCancel(ctx)
+					cancel()
+					ctx = c
+				}
+				release, _, _, err := a.acquire(ctx)
+				if err == nil {
+					if g%2 == 0 {
+						runtime.Gosched()
+					}
+					release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d := a.queueDepth(); d != 0 {
+		t.Fatalf("queue depth = %d after hammer, want 0", d)
+	}
+	if v := r.Gauge("server_queue_depth").Value(); v != 0 {
+		t.Fatalf("server_queue_depth gauge = %v after hammer, want 0", v)
 	}
 }
 

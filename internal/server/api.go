@@ -153,6 +153,11 @@ type EstimateResponse struct {
 	// Conformance is the cheap cross-estimator sanity check of the served
 	// moments (see DESIGN.md §12).
 	Conformance *ConformanceBody `json:"conformance,omitempty"`
+	// Trace is the request's span tree with per-span attributes (sampler,
+	// degradation rung, cache hits, clamp bias, …); the same trace stays
+	// retrievable at /debug/traces/{request_id} per the flight recorder's
+	// retention policy.
+	Trace *telemetry.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // ResultBody is the JSON rendering of a leakest.Result.
@@ -230,6 +235,8 @@ type JobBody struct {
 	Result *EstimateResponse `json:"result,omitempty"`
 	// Error is present once State is failed or canceled.
 	Error *ErrorInfo `json:"error,omitempty"`
+	// Trace is the job's completed span tree (terminal states only).
+	Trace *telemetry.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // ProgressBody is one progress snapshot of a running job.

@@ -50,6 +50,7 @@ func (c *artifactCache) get(ctx context.Context, artifact, key string, fill func
 	if e, ok := c.entries[full]; ok {
 		c.mu.Unlock()
 		telemetry.Inc(telemetry.Label("server_cache_hits_total", "artifact", artifact))
+		telemetry.SpanAttrStr(ctx, "cache."+artifact, "hit")
 		select {
 		case <-e.done:
 			return e.val, e.err
@@ -61,6 +62,7 @@ func (c *artifactCache) get(ctx context.Context, artifact, key string, fill func
 	c.entries[full] = e
 	c.mu.Unlock()
 	telemetry.Inc(telemetry.Label("server_cache_misses_total", "artifact", artifact))
+	telemetry.SpanAttrStr(ctx, "cache."+artifact, "miss")
 
 	e.val, e.err = c.fill(artifact, fill)
 

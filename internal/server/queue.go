@@ -33,17 +33,25 @@ type job struct {
 	progress *telemetry.Progress
 	resp     *EstimateResponse
 	errInfo  *ErrorInfo
+	trace    *telemetry.TraceSnapshot
 }
 
 // snapshot renders the job's current state for the wire.
 func (j *job) snapshot() JobBody {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	b := JobBody{ID: j.id, State: j.state, Result: j.resp, Error: j.errInfo}
+	b := JobBody{ID: j.id, State: j.state, Result: j.resp, Error: j.errInfo, Trace: j.trace}
 	if j.progress != nil && j.state == stateRunning {
 		b.Progress = progressBody(*j.progress)
 	}
 	return b
+}
+
+// setTrace retains the job's completed trace snapshot for GET /v1/jobs/{id}.
+func (j *job) setTrace(snap *telemetry.TraceSnapshot) {
+	j.mu.Lock()
+	j.trace = snap
+	j.mu.Unlock()
 }
 
 // onProgress is the telemetry ProgressFunc: it retains the latest snapshot

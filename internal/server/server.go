@@ -106,6 +106,7 @@ type Server struct {
 	cache *artifactCache
 	jobs  *jobSet
 	mux   *http.ServeMux
+	rec   *telemetry.FlightRecorder
 
 	// baseCtx is the server lifetime: cache fills and job contexts derive
 	// from it, so Shutdown's final cancel unwinds everything in flight.
@@ -117,7 +118,9 @@ type Server struct {
 	exec execFn
 }
 
-// New builds a Server. Telemetry is enabled (the service exposes /metrics).
+// New builds a Server. Telemetry is enabled (the service exposes /metrics),
+// and so is the flight recorder: every request's trace is retained per the
+// default RecorderConfig and served under /debug/traces.
 func New(cfg Config) *Server {
 	cfg.setDefaults()
 	telemetry.Enable()
@@ -126,6 +129,7 @@ func New(cfg Config) *Server {
 		adm:   newAdmission(cfg.Workers, cfg.QueueCap),
 		cache: newArtifactCache(cfg.CacheEntries),
 		jobs:  newJobSet(cfg.MaxJobs, cfg.KeepJobs),
+		rec:   telemetry.EnableFlightRecorder(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.exec = s.runEstimate
@@ -225,15 +229,43 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	defer s.wg.Done()
 	ctx, cancel := s.workCtx(r.Context(), req)
 	defer cancel()
+	// The request-scoped trace: named by the request ID, threaded through
+	// every pipeline stage, recorded into the flight recorder whatever the
+	// outcome, and linked from the latency histogram as an exemplar.
+	tr := telemetry.NewTrace()
+	tr.SetID(id)
+	ctx = telemetry.WithTrace(ctx, tr)
+	ctx, endReq := telemetry.WithSpan(ctx, "server.request")
 	start := time.Now()
 	resp, err := s.process(ctx, req, id)
-	telemetry.ObserveSeconds("server_request_seconds", time.Since(start).Seconds())
+	endReq()
+	telemetry.ObserveSecondsEx("server_request_duration_seconds", time.Since(start).Seconds(), id)
+	snap := s.recordTrace(tr, resp, err)
 	if err != nil {
 		writeTypedError(w, id, err)
 		return
 	}
 	resp.RequestID = id
+	resp.Trace = &snap
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordTrace classifies the request outcome onto the trace, records it in
+// the flight recorder, and returns the snapshot for the response body.
+func (s *Server) recordTrace(tr *telemetry.Trace, resp *EstimateResponse, err error) telemetry.TraceSnapshot {
+	switch {
+	case err != nil && lkerr.IsCode(err, lkerr.Canceled):
+		tr.SetOutcome("canceled")
+	case err != nil:
+		tr.SetOutcome("error")
+	case resp != nil && resp.Result.Degraded:
+		tr.SetOutcome("degraded")
+	default:
+		tr.SetOutcome("ok")
+	}
+	snap := tr.Snapshot()
+	s.rec.Record(snap)
+	return snap
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -259,16 +291,28 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx = telemetry.WithProgress(ctx, j.onProgress)
+	// The job trace mirrors the synchronous request trace, named by the job
+	// ID so GET /debug/traces/{job-id} resolves after completion.
+	tr := telemetry.NewTrace()
+	tr.SetID(id)
+	ctx = telemetry.WithTrace(ctx, tr)
 	s.wg.Add(1)
-	go s.runJob(ctx, cancel, j)
+	go s.runJob(ctx, cancel, j, tr)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
 // runJob executes one asynchronous job through the shared admission pool.
-func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job) {
+func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, tr *telemetry.Trace) {
 	defer s.wg.Done()
 	defer cancel()
+	ctx, endJob := telemetry.WithSpan(ctx, "server.job")
 	resp, err := s.executeJob(ctx, j)
+	endJob()
+	snap := s.recordTrace(tr, resp, err)
+	if resp != nil {
+		resp.Trace = &snap
+	}
+	j.setTrace(&snap)
 	j.finish(resp, err)
 }
 
@@ -332,6 +376,8 @@ type benchArtifact struct {
 // tighter of the request's and the load level's budgets, estimate, and
 // cross-check the served moments.
 func (s *Server) runEstimate(ctx context.Context, req *EstimateRequest, id string, lvl loadLevel, depth int) (*EstimateResponse, error) {
+	telemetry.SpanAttrStr(ctx, "admission.level", lvl.String())
+	telemetry.SpanAttrInt(ctx, "admission.queue_depth", int64(depth))
 	proc := req.Process
 	if proc == nil {
 		proc = spatial.Default90nm()

@@ -287,8 +287,8 @@ func TestPrometheusGoldenServerSeries(t *testing.T) {
 		`server_shed_total`,
 		`# TYPE server_cache_hits_total counter`,
 		`server_cache_hits_total{artifact=`,
-		`# TYPE server_request_seconds histogram`,
-		`server_request_seconds_bucket`,
+		`# TYPE server_request_duration_seconds histogram`,
+		`server_request_duration_seconds_bucket`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"leakest/internal/telemetry"
+)
+
+// spanByStage returns the first span with the given stage name, if any.
+func spanByStage(snap *telemetry.TraceSnapshot, stage string) (telemetry.SpanSnapshot, bool) {
+	for _, sp := range snap.Spans {
+		if sp.Stage == stage {
+			return sp, true
+		}
+	}
+	return telemetry.SpanSnapshot{}, false
+}
+
+// attrValue returns the value of key among attrs, nil when absent.
+func attrValue(attrs []telemetry.Attr, key string) any {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return nil
+}
+
+// TestDegradedRequestTraceRetrievable is the tracing acceptance test: a
+// request degraded by its budget returns a trace block inline, and the same
+// trace — span tree, degradation attributes, "degraded" outcome — stays
+// retrievable from the flight recorder at /debug/traces/{id}, listed as
+// notable, and exportable in Chrome format.
+func TestDegradedRequestTraceRetrievable(t *testing.T) {
+	s := coreServer(t, Config{})
+	body := histRequest(500)
+	body["budget"] = map[string]any{"max_gates": 100}
+	rec := do(t, s, "POST", "/v1/estimate", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeResp(t, rec)
+	if !resp.Result.Degraded {
+		t.Fatalf("request not degraded: %+v", resp.Result)
+	}
+	if resp.Trace == nil {
+		t.Fatal("response carries no trace block")
+	}
+	if resp.Trace.ID != resp.RequestID {
+		t.Errorf("trace ID %q != request ID %q", resp.Trace.ID, resp.RequestID)
+	}
+	if resp.Trace.Outcome != "degraded" {
+		t.Errorf("trace outcome = %q, want degraded", resp.Trace.Outcome)
+	}
+	root, ok := spanByStage(resp.Trace, "server.request")
+	if !ok || root.Parent != 0 {
+		t.Fatalf("no top-level server.request span: %+v", resp.Trace.Spans)
+	}
+	est, ok := spanByStage(resp.Trace, "estimate")
+	if !ok {
+		t.Fatalf("no estimate span: %+v", resp.Trace.Spans)
+	}
+	if est.Parent != root.ID {
+		t.Errorf("estimate span parent = %d, want server.request (%d)", est.Parent, root.ID)
+	}
+	if attrValue(est.Attrs, "degraded") != true {
+		t.Errorf("estimate span lacks degraded=true: %+v", est.Attrs)
+	}
+	// The degradation ladder records each rung it rejected as a
+	// "degraded.<rung>" attribute on the enclosing span.
+	rung := false
+	for _, sp := range resp.Trace.Spans {
+		for _, a := range sp.Attrs {
+			if strings.HasPrefix(a.Key, "degraded.") {
+				rung = true
+			}
+		}
+	}
+	if !rung {
+		t.Errorf("no degradation-rung attribute in the span tree: %+v", resp.Trace.Spans)
+	}
+
+	// The same trace must be retrievable from the flight recorder.
+	rec = do(t, s, "GET", "/debug/traces/"+resp.RequestID, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s = %d: %s", resp.RequestID, rec.Code, rec.Body.String())
+	}
+	var stored telemetry.TraceSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &stored); err != nil {
+		t.Fatal(err)
+	}
+	if stored.ID != resp.RequestID || stored.Outcome != "degraded" || len(stored.Spans) != len(resp.Trace.Spans) {
+		t.Errorf("recorded trace differs: %+v", stored)
+	}
+
+	// Degraded → notable in the listing.
+	rec = do(t, s, "GET", "/debug/traces", nil)
+	var listing struct {
+		Traces []telemetry.TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range listing.Traces {
+		if tr.ID == resp.RequestID {
+			found = true
+			if !tr.Notable {
+				t.Errorf("degraded trace not marked notable: %+v", tr)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("trace %s missing from /debug/traces listing", resp.RequestID)
+	}
+
+	// Chrome export parses as a JSON event array.
+	rec = do(t, s, "GET", "/debug/traces/"+resp.RequestID+"?format=chrome", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("chrome export = %d", rec.Code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export not JSON: %v", err)
+	}
+	if len(events) < 2 {
+		t.Errorf("chrome export has %d events, want root + spans", len(events))
+	}
+}
+
+// TestMCTraceCarriesEmbeddingHealth asserts an FFT-sampled Monte-Carlo
+// request records the embedding's numerical-health facts — sampler choice,
+// torus dimensions, clamp bias — on the chipmc.run span.
+func TestMCTraceCarriesEmbeddingHealth(t *testing.T) {
+	s := coreServer(t, Config{})
+	rec := do(t, s, "POST", "/v1/estimate", map[string]any{
+		"bench": c17, "mc_samples": 16, "sampler": "fft",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeResp(t, rec)
+	if resp.Trace == nil {
+		t.Fatal("response carries no trace block")
+	}
+	mc, ok := spanByStage(resp.Trace, "chipmc.run")
+	if !ok {
+		t.Fatalf("no chipmc.run span: %+v", resp.Trace.Spans)
+	}
+	if got := attrValue(mc.Attrs, "chipmc.sampler"); got != "fft" {
+		t.Errorf("chipmc.sampler = %v, want fft", got)
+	}
+	torus, _ := attrValue(mc.Attrs, "chipmc.torus").(string)
+	if !regexp.MustCompile(`^\d+x\d+$`).MatchString(torus) {
+		t.Errorf("chipmc.torus = %q, want RxC", torus)
+	}
+	if attrValue(mc.Attrs, "chipmc.clamp_bias") == nil {
+		t.Errorf("chipmc.clamp_bias missing: %+v", mc.Attrs)
+	}
+	if attrValue(mc.Attrs, "chipmc.trials") == nil || attrValue(mc.Attrs, "chipmc.workers") == nil {
+		t.Errorf("trial/worker attrs missing: %+v", mc.Attrs)
+	}
+}
+
+// TestRequestHistogramExemplarResolves asserts the
+// server_request_duration_seconds histogram carries an exemplar trace ID
+// that resolves against the flight recorder — the /metrics → /debug/traces
+// debugging path of the README walkthrough.
+func TestRequestHistogramExemplarResolves(t *testing.T) {
+	r := telemetry.Enable()
+	s := coreServer(t, Config{})
+	rec := do(t, s, "POST", "/v1/estimate", histRequest(200))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	id := decodeResp(t, rec).RequestID
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	prom := sb.String()
+	re := regexp.MustCompile(`server_request_duration_seconds_bucket\{[^}]*\} \d+ # \{trace_id="([^"]+)"\}`)
+	m := re.FindStringSubmatch(prom)
+	if m == nil {
+		t.Fatalf("no exemplar on server_request_duration_seconds:\n%s", prom)
+	}
+	// The exemplar is last-writer-wins per bucket; our request just ran, so
+	// its ID must be among the exemplars and must resolve in the recorder.
+	// (Older exemplars may point at traces already churned out of the ring.)
+	ids := map[string]bool{}
+	for _, g := range re.FindAllStringSubmatch(prom, -1) {
+		ids[g[1]] = true
+	}
+	if !ids[id] {
+		t.Errorf("request %s not among exemplars %v", id, ids)
+	}
+	if _, ok := telemetry.Recorder().Get(id); !ok {
+		t.Errorf("exemplar %s does not resolve against the flight recorder", id)
+	}
+}

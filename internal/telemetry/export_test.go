@@ -1,10 +1,11 @@
 package telemetry
 
 // resetForTest returns the package to its zero-overhead default state —
-// no registry, no logger — so tests and the disabled-path benchmarks can
-// run in any order within one test binary.
+// no registry, no logger, no flight recorder — so tests and the
+// disabled-path benchmarks can run in any order within one test binary.
 func resetForTest() {
 	def.Store(nil)
 	sinkOn.Store(false)
 	logger.Store(nil)
+	recorder.Store(nil)
 }

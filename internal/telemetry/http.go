@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"net/http"
 	"net/http/pprof"
@@ -41,16 +42,57 @@ func PromHandler(r *Registry) http.Handler {
 	})
 }
 
+// TracesListHandler serves the flight-recorder listing as JSON, newest
+// first. With no recorder installed it answers an empty list, not an error,
+// so probes keep working when tracing is off.
+func TracesListHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		list := Recorder().List()
+		if list == nil {
+			list = []TraceSummary{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"traces": list})
+	})
+}
+
+// TraceGetHandler serves one retained trace's full span tree as JSON, or —
+// with ?format=chrome — as Chrome trace-event JSON for chrome://tracing.
+// The trace ID comes from the request path (Go 1.22 pattern "{id}").
+func TraceGetHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("id")
+		snap, ok := Recorder().Get(id)
+		if !ok {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		switch req.URL.Query().Get("format") {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(snap)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="`+snap.ID+`.chrome.json"`)
+			WriteChrome(w, snap)
+		default:
+			http.Error(w, "unknown format (want json or chrome)", http.StatusBadRequest)
+		}
+	})
+}
+
 // NewMux builds the observability endpoint served behind cmd/leakest
 // -listen: Prometheus text at /metrics, the expvar JSON dump at
-// /debug/vars, and the full pprof suite under /debug/pprof/. The handlers
-// are registered on a private mux so importing net/http/pprof's
-// DefaultServeMux side effects is irrelevant.
+// /debug/vars, the flight recorder under /debug/traces, and the full pprof
+// suite under /debug/pprof/. The handlers are registered on a private mux so
+// importing net/http/pprof's DefaultServeMux side effects is irrelevant.
 func NewMux(r *Registry) *http.ServeMux {
 	PublishExpvar()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", PromHandler(r))
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("GET /debug/traces", TracesListHandler())
+	mux.Handle("GET /debug/traces/{id}", TraceGetHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

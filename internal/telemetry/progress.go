@@ -80,11 +80,12 @@ func progressFrom(ctx context.Context) *progressConfig {
 //
 // Reporter is not safe for concurrent use; each loop owns its reporter.
 type Reporter struct {
-	cfg   *progressConfig
-	stage string
-	total int64
-	start time.Time
-	next  time.Time
+	cfg       *progressConfig
+	stage     string
+	total     int64
+	start     time.Time
+	next      time.Time
+	finalSent bool
 }
 
 // StartProgress creates the reporter for one loop, or nil when ctx carries
@@ -97,9 +98,17 @@ func StartProgress(ctx context.Context, stage string, total int64) *Reporter {
 	return &Reporter{cfg: cfg, stage: stage, total: total, start: time.Now()}
 }
 
-// Tick reports done iterations, subject to the rate limit.
+// Tick reports done iterations, subject to the rate limit — except the
+// terminal tick (done == total): that one is always delivered, marked
+// Final, even when it lands inside the rate window. Without this the 100%
+// report could be swallowed and a consumer waiting on Final would hang on a
+// loop whose caller forgot Done.
 func (r *Reporter) Tick(done int64) {
 	if r == nil {
+		return
+	}
+	if r.total > 0 && done >= r.total {
+		r.finish(done)
 		return
 	}
 	now := time.Now()
@@ -110,11 +119,23 @@ func (r *Reporter) Tick(done int64) {
 	r.emit(done, now, false)
 }
 
-// Done delivers the loop's final report; it bypasses the rate limit.
+// Done delivers the loop's final report; it bypasses the rate limit. It is
+// idempotent with a terminal Tick: when that tick already delivered the
+// Final report, Done is a no-op, so consumers see exactly one Final per
+// loop.
 func (r *Reporter) Done(done int64) {
 	if r == nil {
 		return
 	}
+	r.finish(done)
+}
+
+// finish emits the Final report once.
+func (r *Reporter) finish(done int64) {
+	if r.finalSent {
+		return
+	}
+	r.finalSent = true
 	r.emit(done, time.Now(), true)
 }
 

@@ -48,6 +48,44 @@ func TestProgressRateLimit(t *testing.T) {
 	}
 }
 
+func TestProgressTerminalTickBeatsRateLimit(t *testing.T) {
+	// Regression: a terminal tick (done == total) landing inside the rate
+	// window used to be swallowed, so a consumer waiting on Final hung when
+	// the loop relied on Tick alone. It must always be delivered — and a
+	// following Done must not duplicate it.
+	var got []Progress
+	ctx := WithProgressInterval(context.Background(), func(p Progress) { got = append(got, p) }, time.Hour)
+	rep := StartProgress(ctx, "s", 100)
+	rep.Tick(1)   // delivered: first tick opens the window
+	rep.Tick(50)  // suppressed, inside the window
+	rep.Tick(100) // terminal: must be delivered despite the window
+	rep.Done(100) // idempotent after a terminal tick
+	if len(got) != 2 {
+		t.Fatalf("got %d reports, want 2: %+v", len(got), got)
+	}
+	final := got[1]
+	if !final.Final || final.Done != 100 || final.Percent() != 100 {
+		t.Errorf("terminal report = %+v, want Final at 100%%", final)
+	}
+}
+
+func TestProgressDoneWithPartialCountStillFinal(t *testing.T) {
+	// Error paths call Done with however far the loop got; the Final report
+	// must still fire so consumers unblock.
+	var got []Progress
+	ctx := WithProgressInterval(context.Background(), func(p Progress) { got = append(got, p) }, time.Hour)
+	rep := StartProgress(ctx, "s", 100)
+	rep.Tick(10)
+	rep.Done(37)
+	if len(got) != 2 || !got[1].Final || got[1].Done != 37 {
+		t.Fatalf("reports = %+v, want a Final at done=37", got)
+	}
+	rep.Done(37) // second Done stays a no-op
+	if len(got) != 2 {
+		t.Errorf("duplicate Final delivered: %+v", got)
+	}
+}
+
 func TestProgressNilSafety(t *testing.T) {
 	// No ProgressFunc in the context → nil reporter, inert everywhere.
 	rep := StartProgress(context.Background(), "s", 10)

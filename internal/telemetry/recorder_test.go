@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func snapFor(id, outcome string, durS float64) TraceSnapshot {
+	return TraceSnapshot{
+		ID: id, Start: time.Unix(0, 0), DurS: durS, Outcome: outcome,
+		Spans: []SpanSnapshot{{ID: 1, Stage: "estimate", DurS: durS}},
+	}
+}
+
+func TestRecorderRecentRingBounded(t *testing.T) {
+	f := NewFlightRecorder(RecorderConfig{Recent: 4, Notable: 4})
+	for i := 0; i < 10; i++ {
+		f.Record(snapFor(fmt.Sprintf("t-%d", i), "ok", 0.01))
+	}
+	if _, ok := f.Get("t-0"); ok {
+		t.Errorf("oldest ok trace should have been evicted")
+	}
+	if _, ok := f.Get("t-9"); !ok {
+		t.Errorf("newest trace missing")
+	}
+	if got := len(f.List()); got != 4 {
+		t.Errorf("List() = %d entries, want 4", got)
+	}
+}
+
+func TestRecorderNotableSurvivesRecentChurn(t *testing.T) {
+	f := NewFlightRecorder(RecorderConfig{Recent: 2, Notable: 8})
+	f.Record(snapFor("t-degraded", "degraded", 0.01))
+	f.Record(snapFor("t-slow", "ok", 5)) // past the 1s default threshold
+	for i := 0; i < 20; i++ {
+		f.Record(snapFor(fmt.Sprintf("t-ok-%d", i), "ok", 0.01))
+	}
+	for _, id := range []string{"t-degraded", "t-slow"} {
+		snap, ok := f.Get(id)
+		if !ok {
+			t.Fatalf("%s evicted; notable traces must survive recent churn", id)
+		}
+		if snap.ID != id || len(snap.Spans) != 1 {
+			t.Errorf("%s snapshot mangled: %+v", id, snap)
+		}
+	}
+}
+
+func TestRecorderListNewestFirstDeduped(t *testing.T) {
+	f := NewFlightRecorder(RecorderConfig{Recent: 8, Notable: 8})
+	f.Record(snapFor("t-a", "ok", 0.01))
+	f.Record(snapFor("t-b", "error", 0.01)) // lands in both rings
+	f.Record(snapFor("t-c", "ok", 0.01))
+	list := f.List()
+	if len(list) != 3 {
+		t.Fatalf("List() = %d entries, want 3 (deduped): %+v", len(list), list)
+	}
+	if list[0].ID != "t-c" || list[1].ID != "t-b" || list[2].ID != "t-a" {
+		t.Errorf("order = %s,%s,%s, want newest first", list[0].ID, list[1].ID, list[2].ID)
+	}
+	for _, s := range list {
+		if s.ID == "t-b" && !s.Notable {
+			t.Errorf("error trace not marked notable")
+		}
+		if s.Root != "estimate" {
+			t.Errorf("%s root = %q", s.ID, s.Root)
+		}
+	}
+}
+
+func TestNilRecorderInert(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(snapFor("t-x", "ok", 0.01)) // must not panic
+	if _, ok := f.Get("t-x"); ok {
+		t.Errorf("nil recorder returned a trace")
+	}
+	if f.List() != nil {
+		t.Errorf("nil recorder listed traces")
+	}
+}
+
+func TestEnableFlightRecorderIdempotent(t *testing.T) {
+	resetForTest()
+	defer resetForTest()
+	a := EnableFlightRecorder()
+	b := EnableFlightRecorder()
+	if a == nil || a != b {
+		t.Errorf("EnableFlightRecorder not idempotent: %p vs %p", a, b)
+	}
+	if Recorder() != a {
+		t.Errorf("Recorder() does not return the installed recorder")
+	}
+}
+
+func TestWriteChromeParsesAsJSON(t *testing.T) {
+	snap := snapFor("t-chrome", "degraded", 0.25)
+	snap.Attrs = []Attr{{Key: "admission.level", Value: "busy"}}
+	snap.Spans[0].Attrs = []Attr{{Key: "chipmc.sampler", Value: "fft"}}
+	var sb strings.Builder
+	if err := WriteChrome(&sb, snap); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want root + 1 span", len(events))
+	}
+	root := events[0]
+	if root["name"] != "trace t-chrome" || root["ph"] != "X" {
+		t.Errorf("root event = %+v", root)
+	}
+	args := root["args"].(map[string]any)
+	if args["trace_id"] != "t-chrome" || args["outcome"] != "degraded" || args["admission.level"] != "busy" {
+		t.Errorf("root args = %+v", args)
+	}
+	span := events[1]
+	if span["name"] != "estimate" || span["dur"].(float64) != 0.25*1e6 {
+		t.Errorf("span event = %+v", span)
+	}
+	if sa := span["args"].(map[string]any); sa["chipmc.sampler"] != "fft" {
+		t.Errorf("span args = %+v", sa)
+	}
+}
+
+func TestDebugTracesEndpoints(t *testing.T) {
+	resetForTest()
+	defer resetForTest()
+	f := EnableFlightRecorder()
+	f.Record(snapFor("t-http", "degraded", 0.5))
+	srv := httptest.NewServer(NewMux(Enable()))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/debug/traces")
+	if code != 200 {
+		t.Fatalf("GET /debug/traces = %d", code)
+	}
+	var listing struct {
+		Traces []TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("listing not JSON: %v\n%s", err, body)
+	}
+	if len(listing.Traces) != 1 || listing.Traces[0].ID != "t-http" {
+		t.Errorf("listing = %+v", listing.Traces)
+	}
+
+	code, body = get("/debug/traces/t-http")
+	if code != 200 {
+		t.Fatalf("GET /debug/traces/t-http = %d", code)
+	}
+	var snap TraceSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("trace body not JSON: %v", err)
+	}
+	if snap.Outcome != "degraded" || len(snap.Spans) != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	code, body = get("/debug/traces/t-http?format=chrome")
+	if code != 200 {
+		t.Fatalf("chrome format = %d", code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("chrome body not JSON: %v", err)
+	}
+
+	if code, _ = get("/debug/traces/no-such-id"); code != 404 {
+		t.Errorf("missing trace = %d, want 404", code)
+	}
+	if code, _ = get("/debug/traces/t-http?format=perfetto"); code != 400 {
+		t.Errorf("unknown format = %d, want 400", code)
+	}
+}

@@ -179,12 +179,24 @@ var DurationBuckets = []float64{
 
 // Histogram is a fixed-bucket histogram with cumulative Prometheus
 // semantics: bucket i counts observations ≤ Buckets[i], with an implicit
-// +Inf bucket at the end.
+// +Inf bucket at the end. Each bucket can additionally carry one exemplar —
+// the trace ID of the most recent observation that landed in it — linking a
+// latency spike on /metrics to a recorded trace in the flight recorder.
 type Histogram struct {
 	bounds  []float64
 	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
 	sumBits atomic.Uint64
 	count   atomic.Int64
+
+	exMu      sync.Mutex
+	exemplars []Exemplar // lazily sized len(counts); zero TraceID = none
+}
+
+// Exemplar is one bucket's trace-ID exemplar: the sample value and the trace
+// that produced it.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -198,19 +210,43 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveEx(v, "") }
+
+// ObserveEx records one sample and, when traceID is non-empty, stores it as
+// the landing bucket's exemplar (last writer wins).
+func (h *Histogram) ObserveEx(v float64, traceID string) {
 	// Bucket i spans (bounds[i-1], bounds[i]]; SearchFloat64s returns the
 	// first index whose bound is ≥ v, which is exactly that bucket, and
 	// len(bounds) — the +Inf bucket — when v exceeds every bound.
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	if traceID != "" {
+		h.exMu.Lock()
+		if h.exemplars == nil {
+			h.exemplars = make([]Exemplar, len(h.counts))
+		}
+		h.exemplars[i] = Exemplar{TraceID: traceID, Value: v}
+		h.exMu.Unlock()
+	}
 	for {
 		old := h.sumBits.Load()
 		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
 			return
 		}
 	}
+}
+
+// Exemplars returns the per-bucket exemplars (last entry is the +Inf
+// bucket); entries with an empty TraceID have none. Returns nil when no
+// exemplar was ever recorded.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	return append([]Exemplar(nil), h.exemplars...)
 }
 
 // Count returns the total number of observations.
@@ -231,13 +267,22 @@ func (h *Histogram) BucketCounts() []int64 {
 
 func (h *Histogram) promType() string { return "histogram" }
 func (h *Histogram) writeProm(w io.Writer, base, labels string) {
+	ex := h.Exemplars()
+	// exSuffix renders bucket i's exemplar in OpenMetrics syntax
+	// (` # {trace_id="..."} value`), or nothing when the bucket has none.
+	exSuffix := func(i int) string {
+		if ex == nil || ex[i].TraceID == "" {
+			return ""
+		}
+		return fmt.Sprintf(` # {trace_id="%s"} %s`, escapeLabel(ex[i].TraceID), formatFloat(ex[i].Value))
+	}
 	cum := int64(0)
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket%s %d\n", base, Label(labels, "le", formatFloat(bound)), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", base, Label(labels, "le", formatFloat(bound)), cum, exSuffix(i))
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket%s %d\n", base, Label(labels, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", base, Label(labels, "le", "+Inf"), cum, exSuffix(len(h.bounds)))
 	fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, formatFloat(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.Count())
 }

@@ -55,11 +55,11 @@ func TestSpanFeedsStageHistogram(t *testing.T) {
 	r := Enable()
 	StartSpan(context.Background(), "linalg.cholesky")()
 	TimeStage("spatial.fitcorr")()
-	name := Label("stage_duration_seconds", "stage", "linalg.cholesky")
+	name := Label("estimate_stage_duration_seconds", "stage", "linalg.cholesky")
 	if got := r.Histogram(name, nil).Count(); got != 1 {
 		t.Errorf("span histogram count = %d, want 1", got)
 	}
-	name = Label("stage_duration_seconds", "stage", "spatial.fitcorr")
+	name = Label("estimate_stage_duration_seconds", "stage", "spatial.fitcorr")
 	if got := r.Histogram(name, nil).Count(); got != 1 {
 		t.Errorf("TimeStage histogram count = %d, want 1", got)
 	}

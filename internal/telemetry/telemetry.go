@@ -82,12 +82,18 @@ func SetGauge(name string, v float64) {
 // ObserveSeconds records v into the named duration histogram (default
 // duration buckets) on the default registry; no-op when metrics are
 // disabled.
-func ObserveSeconds(name string, v float64) {
+func ObserveSeconds(name string, v float64) { ObserveSecondsEx(name, v, "") }
+
+// ObserveSecondsEx is ObserveSeconds carrying a trace-ID exemplar: the
+// bucket the sample lands in remembers traceID, so the /metrics exposition
+// links the latency spike to the recorded trace. Empty traceID records no
+// exemplar. No-op when metrics are disabled.
+func ObserveSecondsEx(name string, v float64, traceID string) {
 	if !sinkOn.Load() {
 		return
 	}
 	if r := def.Load(); r != nil {
-		r.Histogram(name, DurationBuckets).Observe(v)
+		r.Histogram(name, DurationBuckets).ObserveEx(v, traceID)
 	}
 }
 

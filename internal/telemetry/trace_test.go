@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWithSpanBuildsTree(t *testing.T) {
+	resetForTest()
+	defer resetForTest()
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	ctx, endOuter := WithSpan(ctx, "estimate")
+	SpanAttrInt(ctx, "gates", 64)
+	endInner := StartSpan(ctx, "core.model")
+	endInner()
+	cctx, endChild := WithSpan(ctx, "chipmc.run")
+	SpanAttrStr(cctx, "chipmc.sampler", "fft")
+	endChild()
+	endOuter()
+
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3: %+v", len(snap.Spans), snap.Spans)
+	}
+	outer := snap.Spans[0]
+	if outer.Stage != "estimate" || outer.Parent != 0 {
+		t.Errorf("outer = %+v, want top-level estimate", outer)
+	}
+	if len(outer.Attrs) != 1 || outer.Attrs[0].Key != "gates" || outer.Attrs[0].Value != int64(64) {
+		t.Errorf("outer attrs = %+v", outer.Attrs)
+	}
+	for _, sp := range snap.Spans[1:] {
+		if sp.Parent != outer.ID {
+			t.Errorf("span %q parent = %d, want %d", sp.Stage, sp.Parent, outer.ID)
+		}
+	}
+	if snap.Spans[2].Attrs[0].Key != "chipmc.sampler" || snap.Spans[2].Attrs[0].Value != "fft" {
+		t.Errorf("child attrs = %+v", snap.Spans[2].Attrs)
+	}
+	if snap.Root() != "estimate" {
+		t.Errorf("Root() = %q, want estimate", snap.Root())
+	}
+}
+
+func TestSpanAttrOverwritesSameKey(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	ctx, end := WithSpan(ctx, "s")
+	SpanAttrStr(ctx, "k", "v1")
+	SpanAttrStr(ctx, "k", "v2")
+	end()
+	attrs := tr.Snapshot().Spans[0].Attrs
+	if len(attrs) != 1 || attrs[0].Value != "v2" {
+		t.Errorf("attrs = %+v, want single k=v2", attrs)
+	}
+}
+
+func TestSpanAttrOutsideSpanLandsOnTrace(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	SpanAttrBool(ctx, "flag", true)
+	snap := tr.Snapshot()
+	if len(snap.Attrs) != 1 || snap.Attrs[0].Key != "flag" {
+		t.Errorf("trace attrs = %+v", snap.Attrs)
+	}
+}
+
+func TestTraceIDLazyAndSettable(t *testing.T) {
+	tr := NewTrace()
+	id := tr.ID()
+	if !strings.HasPrefix(id, "t-") {
+		t.Errorf("lazy ID = %q, want t- prefix", id)
+	}
+	if tr.ID() != id {
+		t.Errorf("ID not stable across calls")
+	}
+	tr2 := NewTrace()
+	tr2.SetID("req-42")
+	if tr2.ID() != "req-42" {
+		t.Errorf("SetID not honored: %q", tr2.ID())
+	}
+	if NewTrace().ID() == id {
+		t.Errorf("two traces share a lazy ID")
+	}
+}
+
+func TestAddSpanAtSkipsFlatStages(t *testing.T) {
+	tr := NewTrace()
+	start := time.Now()
+	id := tr.AddSpanAt(0, "op.shard", start, 5*time.Millisecond, Attr{Key: "worker", Value: 0})
+	if id != 1 {
+		t.Errorf("span id = %d, want 1", id)
+	}
+	if got := tr.Stages(); len(got) != 0 {
+		t.Errorf("AddSpanAt leaked into Stages: %+v", got)
+	}
+	sp := tr.Snapshot().Spans[0]
+	if sp.Stage != "op.shard" || sp.DurS < 0.004 {
+		t.Errorf("merged span = %+v", sp)
+	}
+}
+
+func TestSnapshotReportsOpenSpans(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	_, end := WithSpan(ctx, "open")
+	defer end()
+	time.Sleep(2 * time.Millisecond)
+	sp := tr.Snapshot().Spans[0]
+	if sp.DurS <= 0 {
+		t.Errorf("open span duration = %v, want accumulated > 0", sp.DurS)
+	}
+}
+
+func TestStageHistogramCarriesExemplarTraceID(t *testing.T) {
+	resetForTest()
+	defer resetForTest()
+	r := Enable()
+	tr := NewTrace()
+	tr.SetID("t-exemplar")
+	ctx := WithTrace(context.Background(), tr)
+	StartSpan(ctx, "core.model")()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `# {trace_id="t-exemplar"}`) {
+		t.Errorf("Prometheus output lacks the exemplar:\n%s", sb.String())
+	}
+}
+
+// The zero-overhead contract, pinned: with all sinks off, every tracing
+// hook must be allocation-free on the hot path.
+func TestDisabledTracingAllocFree(t *testing.T) {
+	resetForTest()
+	defer resetForTest()
+	ctx := context.Background()
+	pins := map[string]func(){
+		"StartSpan": func() { StartSpan(ctx, "x")() },
+		"WithSpan": func() {
+			_, end := WithSpan(ctx, "x")
+			end()
+		},
+		"SpanAttrStr":   func() { SpanAttrStr(ctx, "k", "v") },
+		"SpanAttrInt":   func() { SpanAttrInt(ctx, "k", 1) },
+		"SpanAttrFloat": func() { SpanAttrFloat(ctx, "k", 1.5) },
+		"SpanAttrBool":  func() { SpanAttrBool(ctx, "k", true) },
+		"TimeStage":     func() { TimeStage("x")() },
+	}
+	for name, fn := range pins {
+		if n := testing.AllocsPerRun(200, fn); n != 0 {
+			t.Errorf("%s allocates %v per op when disabled, want 0", name, n)
+		}
+	}
+}

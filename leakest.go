@@ -251,6 +251,9 @@ func (e *Estimator) EstimateContext(ctx context.Context, design Design, method M
 		return Result{}, err
 	}
 	ctx, tr := telemetry.EnsureTrace(ctx)
+	ctx, endEst := telemetry.WithSpan(ctx, "estimate")
+	defer endEst()
+	telemetry.SpanAttrInt(ctx, "gates", int64(design.N))
 	m, err := e.newModelCtx(ctx, design)
 	if err != nil {
 		return Result{}, err
@@ -260,6 +263,7 @@ func (e *Estimator) EstimateContext(ctx context.Context, design Design, method M
 		return Result{}, err
 	}
 	res = e.finish(res)
+	telemetry.SpanAttrStr(ctx, "method", res.Method)
 	res.Timings = tr.Stages()
 	return res, nil
 }
@@ -337,12 +341,15 @@ func (e *Estimator) TrueLeakage(nl *Netlist, pl *Placement, signalProb float64) 
 func (e *Estimator) TrueLeakageContext(ctx context.Context, nl *Netlist, pl *Placement, signalProb float64) (res Result, err error) {
 	defer lkerr.RecoverInto(&err, "leakest.TrueLeakage")
 	ctx, tr := telemetry.EnsureTrace(ctx)
+	ctx, endTruth := telemetry.WithSpan(ctx, "true_leakage")
+	defer endTruth()
 	endExtract := telemetry.StartSpan(ctx, "core.extract")
 	design, err := e.ExtractDesign(nl, pl, signalProb)
 	endExtract()
 	if err != nil {
 		return Result{}, err
 	}
+	telemetry.SpanAttrInt(ctx, "gates", int64(design.N))
 	m, err := e.newModelCtx(ctx, design)
 	if err != nil {
 		return Result{}, err
@@ -352,6 +359,7 @@ func (e *Estimator) TrueLeakageContext(ctx context.Context, nl *Netlist, pl *Pla
 		return Result{}, err
 	}
 	res = e.finish(res)
+	telemetry.SpanAttrStr(ctx, "method", res.Method)
 	res.Timings = tr.Stages()
 	return res, nil
 }

@@ -2,6 +2,7 @@ package leakest
 
 import (
 	"context"
+	"io"
 	"log/slog"
 	"net/http"
 	"time"
@@ -32,6 +33,13 @@ type (
 	// StageTiming is one entry of Result.Timings: a pipeline stage and its
 	// wall-clock duration.
 	StageTiming = telemetry.StageTiming
+	// Trace is a request-scoped span tree: every estimation call under a
+	// WithTrace context records its stages (and their numerical-health
+	// attributes — sampler, degradation rung, clamp bias, …) into it.
+	Trace = telemetry.Trace
+	// TraceSnapshot is a Trace's exported form: ID, outcome, and the span
+	// tree with per-span attributes.
+	TraceSnapshot = telemetry.TraceSnapshot
 )
 
 // WithProgress returns a context whose estimation calls report loop
@@ -75,6 +83,23 @@ func WriteMetrics(w interface{ Write([]byte) (int, error) }) {
 	if r := telemetry.Default(); r != nil {
 		r.WritePrometheus(w)
 	}
+}
+
+// NewTrace returns an empty trace; attach it with WithTrace to collect the
+// span tree of every estimation call under that context.
+func NewTrace() *Trace { return telemetry.NewTrace() }
+
+// WithTrace returns a context carrying t. Estimation calls under it record
+// their stage spans and attributes into t instead of a fresh per-call trace,
+// so one CLI run (characterize → estimate → truth → MC) yields one tree.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return telemetry.WithTrace(ctx, t)
+}
+
+// WriteChromeTrace renders a trace snapshot as Chrome trace-event JSON,
+// loadable in chrome://tracing or Perfetto (cmd/leakest -trace writes this).
+func WriteChromeTrace(w io.Writer, snap TraceSnapshot) error {
+	return telemetry.WriteChrome(w, snap)
 }
 
 // TelemetryHandler enables metrics collection and returns the

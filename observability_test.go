@@ -163,7 +163,7 @@ func TestWriteMetricsPrometheusText(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE estimate_duration_seconds histogram",
 		`estimate_duration_seconds_count{method="linear"}`,
-		`stage_duration_seconds_bucket{stage="core.model",le="+Inf"}`,
+		`estimate_stage_duration_seconds_bucket{stage="core.model",le="+Inf"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Prometheus text missing %q:\n%s", want, out)
@@ -180,7 +180,7 @@ func TestTelemetryHandlerEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	for path, want := range map[string]string{
-		"/metrics":      "stage_duration_seconds",
+		"/metrics":      "estimate_stage_duration_seconds",
 		"/debug/vars":   "leakest_metrics",
 		"/debug/pprof/": "profile",
 	} {

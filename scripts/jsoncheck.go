@@ -1,0 +1,45 @@
+// Command jsoncheck validates that a file parses as JSON, so shell scripts
+// (scripts/server_smoke.sh) can check API responses without assuming jq or
+// python on the host. With -array the document must additionally be a
+// non-empty JSON array — the shape of a Chrome trace-event export.
+//
+//	go run ./scripts/jsoncheck.go [-array] FILE
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	array := flag.Bool("array", false, "require a non-empty JSON array")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck [-array] FILE")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsoncheck: %v\n", err)
+		os.Exit(1)
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "jsoncheck: %s: not valid JSON: %v\n", path, err)
+		os.Exit(1)
+	}
+	if *array {
+		arr, ok := doc.([]any)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: not a JSON array\n", path)
+			os.Exit(1)
+		}
+		if len(arr) == 0 {
+			fmt.Fprintf(os.Stderr, "jsoncheck: %s: empty JSON array\n", path)
+			os.Exit(1)
+		}
+	}
+}

@@ -64,6 +64,21 @@ hits=$(sed -n 's/^server_cache_hits_total{artifact="library"} //p' "$tmp/metrics
 [ "${hits:-0}" -ge 4 ] || { echo "library cache hits ${hits:-0}, want >= 4" >&2; exit 1; }
 echo "   1 characterization, $hits cache hits across 5 requests"
 
+echo "== /debug/traces flight recorder"
+rid=$(sed -n 's/.*"request_id": *"\([^"]*\)".*/\1/p' "$tmp/resp1.json" | head -n1)
+[ -n "$rid" ] || { cat "$tmp/resp1.json" >&2; echo "no request_id in estimate response" >&2; exit 1; }
+curl -s "http://$addr/debug/traces" >"$tmp/traces.json"
+go run ./scripts/jsoncheck.go "$tmp/traces.json"
+grep -q "\"$rid\"" "$tmp/traces.json" || { cat "$tmp/traces.json" >&2; echo "trace $rid missing from /debug/traces listing" >&2; exit 1; }
+code=$(curl -s -o "$tmp/trace.json" -w '%{http_code}' "http://$addr/debug/traces/$rid")
+[ "$code" = 200 ] || { cat "$tmp/trace.json" >&2; echo "GET /debug/traces/$rid answered $code, want 200" >&2; exit 1; }
+go run ./scripts/jsoncheck.go "$tmp/trace.json"
+grep -q '"spans"' "$tmp/trace.json" || { cat "$tmp/trace.json" >&2; echo "recorded trace has no span tree" >&2; exit 1; }
+code=$(curl -s -o "$tmp/trace_chrome.json" -w '%{http_code}' "http://$addr/debug/traces/$rid?format=chrome")
+[ "$code" = 200 ] || { cat "$tmp/trace_chrome.json" >&2; echo "Chrome export answered $code, want 200" >&2; exit 1; }
+go run ./scripts/jsoncheck.go -array "$tmp/trace_chrome.json"
+echo "   trace $rid retrievable; Chrome export parses as JSON"
+
 echo "== SIGTERM drain"
 kill -TERM "$pid"
 rc=0
