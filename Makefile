@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race race-parallel fuzz bench conformance server-smoke tracecheck
+.PHONY: build test check vet race race-parallel fuzz bench conformance tail-conformance server-smoke tracecheck
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,18 @@ conformance:
 	$(GO) test -race ./internal/conformance/
 	$(GO) run ./cmd/leakest verify -short -workers 1
 	$(GO) run ./cmd/leakest verify -short -workers 4 -json CONFORMANCE_leakest.json
+
+# tail-conformance is the focused race-enabled gate for the distribution-tail
+# estimators: the chipmc tail unit tests (IS agreement, fallbacks, weight
+# faults, determinism across workers, race hammer), the stats tail
+# primitives, and the conformance tail gates including the full-size
+# 10⁶-trial brute-force referee (TestTailGatesFull is skipped by -short
+# everywhere else, so this target is where it runs under the race detector).
+tail-conformance:
+	$(GO) test -race ./internal/stats/ -run 'Quantile|Exceedance|Binomial'
+	$(GO) test -race ./internal/chipmc/ -run 'TestTail'
+	$(GO) test -race . -run 'TestDeterminismTail|TestTailAccumulatorRaceHammer'
+	$(GO) test -race ./internal/conformance/ -run 'TestTail'
 
 # server-smoke boots leakestd on a loopback port and exercises the HTTP
 # API end to end: a small estimate must answer 200 with finite moments,

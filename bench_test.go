@@ -511,6 +511,67 @@ func BenchmarkChipMCFFT(b *testing.B) {
 	reportHealthMetrics(b, before)
 }
 
+// BenchmarkChipMCTail compares plain Monte Carlo against the tilted
+// importance sampler at the same deep-tail spec (P ≈ 10⁻³, placed by the
+// analytic truth's lognormal fit so both arms measure the same quantity).
+// The "is" arm spends 1/20 of the plain arm's trials; each arm reports
+// plain-eq-trials — the plain-MC trial count that would match its achieved
+// standard error, p(1−p)/SE² — so BENCH_leakest.json records the
+// trials-to-target-SE savings directly (is/plain-eq-trials divided by its
+// actual total is the variance-reduction factor).
+func BenchmarkChipMCTail(b *testing.B) {
+	lib := benchLib(b)
+	est, err := NewEstimator(lib, experiments.ChipProcess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	est.Workers = envWorkers(b)
+	nl, err := RandomCircuit(lib, 3, "mc-tail", 400, 16, benchHist(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := AutoPlace(nl, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth, err := est.TrueLeakage(nl, pl, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist, err := DistributionOf(truth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pStar = 1e-3
+	spec := dist.Quantile(1 - pStar)
+	const plainTrials = 40000
+	const isPrimary, isTrials = 500, 1500 // 1/20 of the plain arm
+
+	run := func(b *testing.B, samples, tailTrials int) {
+		e := *est
+		e.Spec = spec
+		e.TailTrials = tailTrials
+		var tail *TailStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mc, err := e.MonteCarlo(nl, pl, 0.5, samples, 13)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tail = mc.Tail
+		}
+		b.StopTimer()
+		if tail == nil || tail.SE <= 0 {
+			b.Fatalf("tail arm returned no usable estimate: %+v", tail)
+		}
+		b.ReportMetric(tail.P, "p-exceed")
+		b.ReportMetric(float64(samples+tailTrials), "trials")
+		b.ReportMetric(tail.P*(1-tail.P)/(tail.SE*tail.SE), "plain-eq-trials")
+	}
+	b.Run("plain", func(b *testing.B) { run(b, plainTrials, 0) })
+	b.Run("is", func(b *testing.B) { run(b, isPrimary, isTrials) })
+}
+
 // BenchmarkTruthClassed measures the O(n²) truth with the distance-class
 // kernel tables at the paper's largest Fig. 6 size (106² = 11 236 gates,
 // ~63M pairs): the per-pair kernel chain collapses to an indexed lookup.

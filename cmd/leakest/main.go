@@ -116,6 +116,51 @@ func parseHist(s string) (*leakest.Histogram, error) {
 	return leakest.NewHistogram(weights)
 }
 
+// parseQuantiles parses the -quantiles flag: comma-separated probabilities,
+// each strictly inside (0, 1). Validation beyond syntax (range, NaN,
+// duplicates) is the library's job, so bad values surface as the same typed
+// InvalidInput errors the server returns.
+func parseQuantiles(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var qs []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		q, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad quantile %q: %v", part, err)
+		}
+		qs = append(qs, q)
+	}
+	return qs, nil
+}
+
+// printTail renders the Monte-Carlo tail block: quantiles, the exceedance
+// estimate with its provenance, and the importance-sampling diagnostics.
+func printTail(ts *leakest.TailStats) {
+	if ts == nil {
+		return
+	}
+	for _, qp := range ts.Quantiles {
+		fmt.Printf("  P%-7s %.4g A\n", strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", 100*qp.P), "0"), "."), qp.Value)
+	}
+	if ts.Spec == 0 {
+		return
+	}
+	fmt.Printf("  P[I > %.4g A] = %.3g ± %.2g (%s", ts.Spec, ts.P, ts.SE, ts.Source)
+	if ts.ISTrials > 0 {
+		fmt.Printf("; IS %d trials, shift %.2f, hit ESS %.1f", ts.ISTrials, ts.Shift, ts.HitESS)
+	}
+	fmt.Printf(")\n")
+	if ts.Degraded {
+		fmt.Printf("  tail degraded: %s\n", ts.DegradedReason)
+	}
+}
+
 func parseMethod(s string) (leakest.Method, error) {
 	switch s {
 	case "auto":
@@ -151,6 +196,9 @@ func main() {
 	truth := flag.Bool("truth", false, "late mode: also compute the O(n²) true leakage for comparison")
 	mc := flag.Int("mc", 0, "late mode: also run a full-chip Monte Carlo with this many samples")
 	samplerFlag := flag.String("sampler", "auto", "Monte-Carlo field sampler: auto|dense|fft")
+	spec := flag.Float64("spec", 0, "with -mc: leakage spec in A; report P[I_leak > spec] (yield at spec)")
+	quantilesFlag := flag.String("quantiles", "", "with -mc: comma-separated tail probabilities, e.g. \"0.5,0.95,0.999\"")
+	tailTrials := flag.Int("tail-trials", 0, "with -spec: importance-sampled deep-tail trial budget; 0 = plain MC only")
 	vt := flag.Bool("vt", true, "apply the random-Vt mean correction")
 	seed := flag.Int64("seed", 1, "random seed (placement of -bench netlists)")
 	workers := flag.Int("workers", 0, "goroutines for the long loops; 0 = all cores, 1 = serial (results identical)")
@@ -245,6 +293,15 @@ func main() {
 	est.Sampler, err = leakest.ParseSampler(*samplerFlag)
 	if err != nil {
 		fail("%v", err)
+	}
+	est.Spec = *spec
+	est.TailTrials = *tailTrials
+	est.Quantiles, err = parseQuantiles(*quantilesFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	if (*spec != 0 || *quantilesFlag != "" || *tailTrials != 0) && *mc == 0 {
+		fail("-spec, -quantiles and -tail-trials need a Monte-Carlo run; add -mc N")
 	}
 
 	var design leakest.Design
@@ -357,6 +414,7 @@ func main() {
 		}
 		fmt.Printf("\nchip MC (%d): mean %.4g A, std %.4g A, 5th–95th pct [%.4g, %.4g] A\n",
 			r.Samples, r.Mean, r.Std, r.Q05, r.Q95)
+		printTail(r.Tail)
 		mcRes = &r
 	}
 	if *jsonReport != "" {

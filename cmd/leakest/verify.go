@@ -60,7 +60,7 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 			}
 			ok = false
 			fmt.Fprintf(stdout, "SELF-CHECK FAIL: a %g× %s/%s perturbation slipped through every check\n",
-				conformance.SelfCheckFactor, r.Target, r.Moment)
+				r.Factor, r.Target, r.Moment)
 		}
 		if conformance.AllCaught(rep.SelfCheck) {
 			fmt.Fprintf(stdout, "mutation self-check: %d/%d perturbations caught\n",

@@ -103,6 +103,18 @@ func ISCASNames() []string { return iscas.Names() }
 // MonteCarloResult summarizes a full-chip Monte-Carlo run.
 type MonteCarloResult = chipmc.Result
 
+// TailStats is the distribution-tail summary — quantiles, exceedance at a
+// spec, importance-sampling diagnostics — attached to MonteCarloResult.Tail
+// when the estimator's Spec/Quantiles/TailTrials fields request it.
+type TailStats = chipmc.TailStats
+
+// QuantilePoint is one reported leakage quantile.
+type QuantilePoint = chipmc.QuantilePoint
+
+// TailConfig is the full tail-estimation configuration (spec, quantile
+// list, importance-sampled trial budget, tilt override, ESS floor).
+type TailConfig = chipmc.TailConfig
+
 // MCSampler selects how the Monte Carlo constructs the correlated
 // channel-length field per trial (see the Estimator.Sampler field).
 type MCSampler = chipmc.Sampler
@@ -146,6 +158,7 @@ func (e *Estimator) MonteCarloContext(ctx context.Context, nl *Netlist, pl *Plac
 		Seed:       seed,
 		Workers:    e.Workers,
 		Sampler:    e.Sampler,
+		Tail:       e.tailConfig(),
 	}, nl, pl)
 }
 
@@ -164,6 +177,7 @@ func (e *Estimator) MonteCarloBudgeted(ctx context.Context, nl *Netlist, pl *Pla
 		MaxGates:   maxGates,
 		Workers:    e.Workers,
 		Sampler:    e.Sampler,
+		Tail:       e.tailConfig(),
 	}, nl, pl)
 }
 

@@ -285,3 +285,108 @@ func TestWorkersFieldIndependence(t *testing.T) {
 		t.Errorf("bit patterns differ")
 	}
 }
+
+// TestDeterminismTailAcrossWorkers extends the MC contract to the tail
+// stage: quantiles, the plain exceedance, and the importance-sampled
+// accumulation (weights, ESS diagnostics, tilt) must all be bitwise
+// identical at every worker count — the IS weight reduction runs serially
+// in trial order over owned per-trial slots, exactly like the moments.
+func TestDeterminismTailAcrossWorkers(t *testing.T) {
+	lib, err := charlib.SharedISCAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, pl, err := ISCASCircuit(lib, "c432", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spec near the observed P95 so both the plain and the IS estimators
+	// see hits at this trial budget.
+	probe, err := chipmc.RunContext(context.Background(), chipmc.Config{
+		Lib: lib, Proc: lib.Process, SignalProb: 0.5,
+		Samples: 200, Seed: 11, KeepTrials: true,
+	}, nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(w int) *chipmc.TailStats {
+		res, err := chipmc.RunContext(context.Background(), chipmc.Config{
+			Lib: lib, Proc: lib.Process, SignalProb: 0.5,
+			Samples: 100, Seed: 11, IncludeVt: true, Workers: w,
+			Tail: &chipmc.TailConfig{
+				Spec:      probe.Q95,
+				Quantiles: []float64{0.5, 0.95, 0.99},
+				ISTrials:  120,
+			},
+		}, nl, pl)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.Tail == nil {
+			t.Fatalf("workers=%d: no tail stats", w)
+		}
+		return res.Tail
+	}
+	ref := run(1)
+	if ref.ISHits == 0 {
+		t.Fatal("tail determinism fixture produced no IS hits; spec placed wrong")
+	}
+	for _, w := range workerSweep()[1:] {
+		got := run(w)
+		if got.P != ref.P || got.SE != ref.SE || got.Source != ref.Source {
+			t.Errorf("workers=%d: exceedance (%v, %v, %s) != serial (%v, %v, %s)",
+				w, got.P, got.SE, got.Source, ref.P, ref.SE, ref.Source)
+		}
+		if got.MCP != ref.MCP || got.MCHits != ref.MCHits {
+			t.Errorf("workers=%d: plain exceedance diverged", w)
+		}
+		if got.Shift != ref.Shift || got.ESS != ref.ESS || got.HitESS != ref.HitESS || got.ISHits != ref.ISHits {
+			t.Errorf("workers=%d: IS diagnostics (θ=%v ESS=%v hitESS=%v hits=%d) != serial (θ=%v ESS=%v hitESS=%v hits=%d)",
+				w, got.Shift, got.ESS, got.HitESS, got.ISHits, ref.Shift, ref.ESS, ref.HitESS, ref.ISHits)
+		}
+		for i := range ref.Quantiles {
+			if got.Quantiles[i] != ref.Quantiles[i] {
+				t.Fatalf("workers=%d: quantile %d %+v != serial %+v", w, i, got.Quantiles[i], ref.Quantiles[i])
+			}
+		}
+	}
+}
+
+// TestTailAccumulatorRaceHammer drives the tail stage with many workers
+// over many concurrent runs; under -race this hammers the shared tail
+// accumulators (per-trial total and deviate slots, the telemetry counters
+// and the ESS gauge) for write races.
+func TestTailAccumulatorRaceHammer(t *testing.T) {
+	lib, err := charlib.SharedISCAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, pl, err := ISCASCircuit(lib, "c432", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 4
+	errs := make(chan error, runs)
+	for r := 0; r < runs; r++ {
+		go func(seed int64) {
+			res, err := chipmc.RunContext(context.Background(), chipmc.Config{
+				Lib: lib, Proc: lib.Process, SignalProb: 0.5,
+				Samples: 60, Seed: seed, Workers: 7,
+				Tail: &chipmc.TailConfig{
+					Spec:      1e-6,
+					Quantiles: []float64{0.5, 0.99},
+					ISTrials:  80,
+				},
+			}, nl, pl)
+			if err == nil && res.Tail == nil {
+				err = errors.New("no tail stats")
+			}
+			errs <- err
+		}(int64(r + 1))
+	}
+	for r := 0; r < runs; r++ {
+		if err := <-errs; err != nil {
+			t.Errorf("run %d: %v", r, err)
+		}
+	}
+}

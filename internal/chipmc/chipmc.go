@@ -141,6 +141,10 @@ type Config struct {
 	// raw MC stream, used by the determinism suite and by distribution
 	// diagnostics. Off by default (costs 8 bytes per trial when on).
 	KeepTrials bool
+	// Tail enables distribution-tail estimation — quantiles, exceedance at
+	// a spec, and the importance-sampled deep-tail estimator — populating
+	// Result.Tail. Nil disables the stage (the historical behavior).
+	Tail *TailConfig
 }
 
 // Result is the sampled full-chip leakage distribution summary.
@@ -152,6 +156,9 @@ type Result struct {
 	// Trials holds the per-trial chip totals in trial order when
 	// Config.KeepTrials is set; nil otherwise.
 	Trials []float64
+	// Tail holds the distribution-tail summary when Config.Tail is set;
+	// nil otherwise.
+	Tail *TailStats
 }
 
 // MeanSE returns the standard error of the sampled mean, the natural
@@ -236,9 +243,18 @@ func (r *trialRunner) runTrial(w, trial int) (float64, error) {
 			ls[g] = b.field[s]
 		}
 	}
+	return chipTotal(r.gates, rng, ls, r.sigmaVt), nil
+}
+
+// chipTotal evaluates the chip leakage of one sampled channel-length vector:
+// per-gate input state by inverse-CDF draw, leakage from the characterized
+// curve, optional Vt-fluctuation factor. Shared by the primary trial body
+// and the importance-sampled tail trials; the per-gate draw order is part of
+// the bitwise determinism contract of both.
+func chipTotal(gates []gateState, rng *rand.Rand, ls []float64, sigmaVt float64) float64 {
 	total := 0.0
-	for g := range r.gates {
-		gs := &r.gates[g]
+	for g := range gates {
+		gs := &gates[g]
 		st := gs.states[0]
 		if len(gs.states) > 1 {
 			u := rng.Float64()
@@ -249,12 +265,12 @@ func (r *trialRunner) runTrial(w, trial int) (float64, error) {
 			st = gs.states[idx]
 		}
 		x := st.Leakage(ls[g])
-		if r.sigmaVt > 0 {
-			x *= math.Exp(-rng.NormFloat64() * r.sigmaVt / nvt)
+		if sigmaVt > 0 {
+			x *= math.Exp(-rng.NormFloat64() * sigmaVt / nvt)
 		}
 		total += x
 	}
-	return total, nil
+	return total
 }
 
 // Run executes the Monte Carlo for the placed netlist.
@@ -350,6 +366,13 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	}
 	if cfg.Samples < 10 {
 		return Result{}, lkerr.New(lkerr.InvalidInput, op, "%d samples too few", cfg.Samples)
+	}
+	var tailQs []float64
+	if cfg.Tail != nil {
+		tailQs, err = cfg.Tail.validate(op)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	gates, err := buildGateStates(cfg, nl)
@@ -464,6 +487,13 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	}
 	if err := lkerr.CheckFinite(op, "std", res.Std); err != nil {
 		return Result{}, err
+	}
+	if cfg.Tail != nil {
+		tail, terr := runTail(ctx, cfg, tailQs, nl.Name, pl, runner, totals, res, workers)
+		if terr != nil {
+			return Result{}, terr
+		}
+		res.Tail = tail
 	}
 	return res, nil
 }

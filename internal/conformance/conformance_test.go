@@ -60,12 +60,12 @@ func TestMutationSelfCheck(t *testing.T) {
 	if err != nil {
 		t.Fatalf("MutationSelfCheck: %v", err)
 	}
-	if want := 2 * len(mutationTargets); len(results) != want {
-		t.Fatalf("got %d self-check results, want %d", len(results), want)
+	if want := 2*len(mutationTargets) + 1; len(results) != want {
+		t.Fatalf("got %d self-check results, want %d (moment matrix plus the tail-is entry)", len(results), want)
 	}
 	for _, r := range results {
 		if !r.Caught {
-			t.Errorf("a %g× %s/%s perturbation slipped through every check", SelfCheckFactor, r.Target, r.Moment)
+			t.Errorf("a %g× %s/%s perturbation slipped through every check", r.Factor, r.Target, r.Moment)
 		}
 	}
 	if !AllCaught(results) {

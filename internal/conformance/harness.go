@@ -34,6 +34,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	rep := &Report{Short: cfg.Short, Seed: cfg.Seed, Workers: cfg.Workers}
 	h := &harness{cfg: cfg, lib: lib, rep: rep}
+	if cfg.tailOnly {
+		// The tail-is mutation self-check needs only the cheap analytic tail
+		// gate; everything else would dilute its runtime for no sensitivity.
+		if err := h.runTailAnalytic(ctx); err != nil {
+			return nil, fmt.Errorf("conformance: tail-analytic: %w", err)
+		}
+		rep.tally()
+		return rep, nil
+	}
 	fixtures, err := Fixtures(cfg.Short)
 	if err != nil {
 		return nil, err
@@ -52,6 +61,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if !cfg.lite {
 		if err := h.runGolden(ctx); err != nil {
 			return nil, err
+		}
+		if err := h.runTailAnalytic(ctx); err != nil {
+			return nil, fmt.Errorf("conformance: tail-analytic: %w", err)
+		}
+		if err := h.runTailBrute(ctx); err != nil {
+			return nil, fmt.Errorf("conformance: tail-brute: %w", err)
 		}
 	}
 	rep.tally()

@@ -10,11 +10,14 @@ import (
 // passes everything verifies nothing.
 type Mutation struct {
 	// Target names the estimator to perturb: linear, truth, integral2d,
-	// polar, or naive.
+	// polar, naive, or tail-is (the importance-sampled tail estimator).
 	Target string `json:"target"`
-	// Moment selects mean or std.
+	// Moment selects mean or std for the moment targets; the tail-is target
+	// uses "exceedance" (there is only one quantity to bias).
 	Moment string `json:"moment"`
-	// Factor multiplies the chosen moment (1.01 = a 1 % bias).
+	// Factor multiplies the chosen moment (1.01 = a 1 % bias). For tail-is
+	// it becomes the uniform IS weight mis-scaling applied through
+	// chipmc.TailConfig.WeightScale.
 	Factor float64 `json:"factor"`
 }
 
@@ -22,10 +25,22 @@ type Mutation struct {
 // sensitivity floor ISSUE-level acceptance demands the harness detect.
 const SelfCheckFactor = 1.01
 
+// TailSelfCheckFactor is the weight mis-scaling the tail self-check injects
+// into the importance sampler: 2×, not 1 %. The tail gates are statistical
+// (z·SE comparisons at deep probabilities), so a 1 % bias sits below their
+// noise floor for the same reason the chipmc moments are excluded from the
+// 1 % matrix. A doubled weight is the smallest realistic bug shape — a
+// dropped factor of two in the likelihood ratio — and must trip the
+// exceedance gate by a wide margin.
+const TailSelfCheckFactor = 2.0
+
 // SelfCheckResult records one mutation run: how many checks tripped.
 type SelfCheckResult struct {
 	Target string `json:"target"`
 	Moment string `json:"moment"`
+	// Factor is the perturbation this run injected (SelfCheckFactor for the
+	// moment matrix, TailSelfCheckFactor for the tail-is entry).
+	Factor float64 `json:"factor"`
 	// Failed counts the checks the mutated run failed; Caught is Failed > 0.
 	Failed int  `json:"failed"`
 	Caught bool `json:"caught"`
@@ -52,11 +67,26 @@ func MutationSelfCheck(ctx context.Context, cfg Config) ([]SelfCheckResult, erro
 				return out, fmt.Errorf("conformance: self-check %s/%s: %w", target, moment, err)
 			}
 			out = append(out, SelfCheckResult{
-				Target: target, Moment: moment,
+				Target: target, Moment: moment, Factor: SelfCheckFactor,
 				Failed: rep.Failed, Caught: rep.Failed > 0,
 			})
 		}
 	}
+	// The tail estimator gets its own entry: a 2× IS weight mis-scaling
+	// rides through chipmc.TailConfig.WeightScale on the tailOnly run (the
+	// cheap single-gate analytic fixture) and must trip the z·SE exceedance
+	// gate — proving the tail harness, like the moment harness, has teeth.
+	tcfg := cfg
+	tcfg.tailOnly = true
+	tcfg.Mutation = &Mutation{Target: "tail-is", Moment: "exceedance", Factor: TailSelfCheckFactor}
+	rep, err := Run(ctx, tcfg)
+	if err != nil {
+		return out, fmt.Errorf("conformance: self-check tail-is/exceedance: %w", err)
+	}
+	out = append(out, SelfCheckResult{
+		Target: "tail-is", Moment: "exceedance", Factor: TailSelfCheckFactor,
+		Failed: rep.Failed, Caught: rep.Failed > 0,
+	})
 	return out, nil
 }
 

@@ -31,6 +31,13 @@ const (
 	// SiteChipMCTrial fires once per chip Monte-Carlo trial and can corrupt
 	// the accumulated total.
 	SiteChipMCTrial = "chipmc/trial"
+	// SiteISWeight fires once per importance-sampled tail trial and can
+	// corrupt its likelihood-ratio weight; armed with NaN it proves a
+	// poisoned weight surfaces as a typed Numerical error, never a silent
+	// NaN tail probability. (The conformance mutation self-check does NOT
+	// use this site — Arm is test-only — it mis-weights via
+	// chipmc.TailConfig.WeightScale instead.)
+	SiteISWeight = "chipmc/is-weight"
 	// SiteTruthRow fires once per row of the O(n²) true-leakage pair loop
 	// and can corrupt the accumulated variance.
 	SiteTruthRow = "core/truth-row"

@@ -266,3 +266,50 @@ func TestGridSamplerSampleAllocs(t *testing.T) {
 		t.Errorf("SampleInto allocates %.1f times per draw, want 0", allocs)
 	}
 }
+
+// TestGridSamplerTiltedDraw pins the importance-sampling contract of
+// SampleTiltedInto: at tilt 0 the draw is bitwise identical to SampleInto
+// (and returns the raw D2D deviate actually used), and at tilt θ every site
+// moves by exactly σ_D2D·θ while the WID texture — the site-to-site
+// differences — stays bitwise unchanged.
+func TestGridSamplerTiltedDraw(t *testing.T) {
+	proc := gridTestProcess()
+	grid := placement.Grid{Rows: 6, Cols: 10, SiteW: 2, SiteH: 2}
+	s, err := NewGridSampler(proc, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := make([]float64, s.Sites())
+	tilted := make([]float64, s.Sites())
+	if err := s.SampleInto(stats.NewRNG(3, "tilt"), s.NewScratch(), plain); err != nil {
+		t.Fatal(err)
+	}
+	z0, err := s.SampleTiltedInto(stats.NewRNG(3, "tilt"), s.NewScratch(), tilted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := stats.NewRNG(3, "tilt").NormFloat64(); z0 != want {
+		t.Fatalf("returned deviate %v != first normal of the stream %v", z0, want)
+	}
+	for i := range plain {
+		if tilted[i] != plain[i] {
+			t.Fatalf("tilt=0 draw differs from SampleInto at site %d: %v vs %v", i, tilted[i], plain[i])
+		}
+	}
+
+	const theta = 2.5
+	z0t, err := s.SampleTiltedInto(stats.NewRNG(3, "tilt"), s.NewScratch(), tilted, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z0t != z0 {
+		t.Fatalf("tilted draw returned deviate %v, want the same raw draw %v", z0t, z0)
+	}
+	// Every site moves by σ_D2D·θ up to one rounding of the final add, which
+	// also pins that the WID texture is untouched by the tilt.
+	for i := range plain {
+		if d := tilted[i] - plain[i] - proc.SigmaD2D*theta; math.Abs(d) > 1e-15 {
+			t.Fatalf("site %d moved by %v, want σ_D2D·θ = %v", i, tilted[i]-plain[i], proc.SigmaD2D*theta)
+		}
+	}
+}

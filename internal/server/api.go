@@ -6,11 +6,13 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"leakest"
 	"leakest/internal/lkerr"
 	"leakest/internal/spatial"
+	"leakest/internal/stats"
 	"leakest/internal/telemetry"
 )
 
@@ -45,6 +47,9 @@ type EstimateRequest struct {
 	MCSamples int `json:"mc_samples,omitempty"`
 	// Sampler selects the MC field sampler (auto|dense|fft; default auto).
 	Sampler string `json:"sampler,omitempty"`
+	// Tail requests distribution-tail statistics from the Monte-Carlo run
+	// (requires Bench and MCSamples).
+	Tail *TailRequest `json:"tail,omitempty"`
 	// SignalProb applies to all inputs; omitted selects the
 	// leakage-maximizing (conservative) setting.
 	SignalProb *float64 `json:"signal_prob,omitempty"`
@@ -66,6 +71,20 @@ type DesignRequest struct {
 	// W and H are the layout dimensions in µm.
 	W float64 `json:"w_um"`
 	H float64 `json:"h_um"`
+}
+
+// TailRequest asks the Monte-Carlo stage for distribution-tail statistics:
+// leakage quantiles, the exceedance probability at a spec, and optionally
+// the importance-sampled deep-tail estimate.
+type TailRequest struct {
+	// Spec is the leakage spec in amperes; > 0 requests P[I_leak > Spec].
+	Spec float64 `json:"spec_a,omitempty"`
+	// Quantiles lists tail probabilities, each strictly inside (0, 1);
+	// duplicates are dropped and the response is ascending.
+	Quantiles []float64 `json:"quantiles,omitempty"`
+	// ISTrials is the importance-sampled trial budget for the deep-tail
+	// exceedance; 0 uses the plain-MC trials alone. Requires Spec > 0.
+	ISTrials int `json:"is_trials,omitempty"`
 }
 
 // BudgetRequest mirrors leakest.EstimateBudget over JSON.
@@ -99,6 +118,26 @@ func (r *EstimateRequest) validate() error {
 	}
 	if r.MCSamples < 0 || r.TimeoutMS < 0 {
 		return lkerr.New(lkerr.InvalidInput, op, "negative mc_samples or timeout_ms")
+	}
+	if r.Tail != nil {
+		if r.MCSamples == 0 {
+			return lkerr.New(lkerr.InvalidInput, op, "tail statistics need mc_samples > 0")
+		}
+		if math.IsNaN(r.Tail.Spec) || math.IsInf(r.Tail.Spec, 0) || r.Tail.Spec < 0 {
+			return lkerr.New(lkerr.InvalidInput, op, "tail spec %g must be finite and non-negative", r.Tail.Spec)
+		}
+		if r.Tail.ISTrials < 0 {
+			return lkerr.New(lkerr.InvalidInput, op, "negative tail is_trials %d", r.Tail.ISTrials)
+		}
+		if r.Tail.ISTrials > 0 && r.Tail.Spec == 0 {
+			return lkerr.New(lkerr.InvalidInput, op, "tail is_trials needs a positive spec_a")
+		}
+		if r.Tail.Spec == 0 && len(r.Tail.Quantiles) == 0 {
+			return lkerr.New(lkerr.InvalidInput, op, "tail request needs spec_a or quantiles")
+		}
+		if _, err := stats.NormalizeQuantiles(r.Tail.Quantiles); err != nil {
+			return lkerr.Wrap(lkerr.InvalidInput, op, err)
+		}
 	}
 	if r.Process != nil {
 		if err := r.Process.Validate(); err != nil {
@@ -185,6 +224,11 @@ type MCBody struct {
 	Q05     float64 `json:"q05_a"`
 	Q95     float64 `json:"q95_a"`
 	Samples int     `json:"samples"`
+	// Tail carries the distribution-tail block when the request asked for
+	// it: quantiles, p_exceed with its source ("mc", "is", "fallback"), and
+	// the importance-sampling diagnostics. NaN-valued probability fields
+	// (no spec requested) render as null — see TailStats.MarshalJSON.
+	Tail *leakest.TailStats `json:"tail,omitempty"`
 }
 
 // AdmissionBody reports how the admission controller treated the request.

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+
+	"leakest/internal/lkerr"
+	"leakest/internal/stats"
+)
+
+// FuzzTailSpec asserts tail-request validation is total: an arbitrary
+// tail block — negative specs, NaN or infinite quantile lists, duplicate
+// and unsorted probabilities, hostile JSON — must either be accepted with a
+// canonical (sorted, deduplicated, in-range) quantile list or be rejected
+// with a typed InvalidInput error. Never a panic, never a silent pass-
+// through of values the estimator would choke on.
+func FuzzTailSpec(f *testing.F) {
+	seeds := []string{
+		`{"spec_a": 1e-3, "quantiles": [0.5, 0.95, 0.999], "is_trials": 1000}`,
+		`{"spec_a": -1}`,
+		`{"spec_a": 0, "quantiles": []}`,
+		`{"quantiles": [0.999, 0.5, 0.5, 0.95]}`, // unsorted + duplicate
+		`{"quantiles": [1.5]}`,
+		`{"quantiles": [0]}`,
+		`{"quantiles": [1]}`,
+		`{"spec_a": 1e308, "is_trials": -5}`,
+		`{"is_trials": 100}`, // IS without a spec
+		`{"spec_a": "NaN"}`,
+		`{"quantiles": [null]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		var tr TailRequest
+		if err := json.Unmarshal([]byte(body), &tr); err != nil {
+			return // malformed JSON is the decoder's rejection, not ours
+		}
+		req := &EstimateRequest{Bench: "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n", MCSamples: 100, Tail: &tr}
+		err := req.validate()
+		if err != nil {
+			if !lkerr.IsCode(err, lkerr.InvalidInput) {
+				t.Fatalf("tail %q rejected with untyped error %v", body, err)
+			}
+			return
+		}
+		// Accepted: the normalized quantile list must be canonical and the
+		// scalar fields safe for the estimator.
+		qs, nerr := stats.NormalizeQuantiles(tr.Quantiles)
+		if nerr != nil {
+			t.Fatalf("tail %q accepted but quantiles fail normalization: %v", body, nerr)
+		}
+		if !sort.Float64sAreSorted(qs) {
+			t.Fatalf("normalized quantiles %v not sorted", qs)
+		}
+		for i, q := range qs {
+			if !(q > 0 && q < 1) {
+				t.Fatalf("normalized quantile %v outside (0,1)", q)
+			}
+			if i > 0 && qs[i] == qs[i-1] {
+				t.Fatalf("duplicate survived normalization: %v", qs)
+			}
+		}
+		if math.IsNaN(tr.Spec) || math.IsInf(tr.Spec, 0) || tr.Spec < 0 {
+			t.Fatalf("accepted non-finite or negative spec %v", tr.Spec)
+		}
+		if tr.ISTrials < 0 {
+			t.Fatalf("accepted negative is_trials %d", tr.ISTrials)
+		}
+		if tr.ISTrials > 0 && tr.Spec == 0 {
+			t.Fatalf("accepted is_trials without a spec")
+		}
+		if tr.Spec == 0 && len(tr.Quantiles) == 0 {
+			t.Fatalf("accepted an empty tail request")
+		}
+	})
+}

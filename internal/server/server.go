@@ -540,6 +540,13 @@ func (s *Server) runMonteCarlo(ctx context.Context, est *leakest.Estimator, req 
 		Workers:    s.cfg.EstimatorWorkers,
 		Sampler:    sampler,
 	}
+	if req.Tail != nil {
+		cfg.Tail = &chipmc.TailConfig{
+			Spec:      req.Tail.Spec,
+			Quantiles: req.Tail.Quantiles,
+			ISTrials:  req.Tail.ISTrials,
+		}
+	}
 	// Artifact 3: the FFT torus embedding, shared across requests hitting
 	// the same (process, grid).
 	if sampler == leakest.SamplerFFT || (sampler == leakest.SamplerAuto && n > chipmc.DefaultMaxGates) {
@@ -557,7 +564,7 @@ func (s *Server) runMonteCarlo(ctx context.Context, est *leakest.Estimator, req 
 	if err != nil {
 		return nil, err
 	}
-	return &MCBody{Mean: mc.Mean, Std: mc.Std, Q05: mc.Q05, Q95: mc.Q95, Samples: mc.Samples}, nil
+	return &MCBody{Mean: mc.Mean, Std: mc.Std, Q05: mc.Q05, Q95: mc.Q95, Samples: mc.Samples, Tail: mc.Tail}, nil
 }
 
 // conformance cross-checks the served moments against cheaper estimators:

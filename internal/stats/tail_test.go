@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantilesMatchesQuantile pins the refactor: the multi-quantile path
+// must agree bitwise with the historical single-quantile estimator.
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	rng := NewRNG(7, "tail-test")
+	xs := make([]float64, 501)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64())
+	}
+	qs := []float64{0, 0.001, 0.05, 0.5, 0.95, 0.999, 1}
+	got := Quantiles(xs, qs)
+	for i, q := range qs {
+		if want := Quantile(xs, q); got[i] != want {
+			t.Errorf("Quantiles[%g] = %v, Quantile = %v", q, got[i], want)
+		}
+	}
+}
+
+func TestQuantilesEdgeCases(t *testing.T) {
+	// Empty input: NaN per requested probability, no panic.
+	for _, v := range Quantiles(nil, []float64{0.5, 0.99}) {
+		if !math.IsNaN(v) {
+			t.Errorf("empty-input quantile = %v, want NaN", v)
+		}
+	}
+	// One trial: every quantile is that sample.
+	for _, v := range Quantiles([]float64{3.5}, []float64{0.01, 0.5, 0.999}) {
+		if v != 3.5 {
+			t.Errorf("1-trial quantile = %v, want 3.5", v)
+		}
+	}
+	// Out-of-range probability panics even on empty input.
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantiles(nil, {1.5}) did not panic")
+		}
+	}()
+	Quantiles(nil, []float64{1.5})
+}
+
+// TestQuantilesMonotone is the seed-corpus property the fuzz target extends:
+// estimated quantiles are monotone in the requested probability.
+func TestQuantilesMonotone(t *testing.T) {
+	rng := NewRNG(11, "tail-monotone")
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	qs := []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}
+	vals := Quantiles(xs, qs)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Errorf("quantile at p=%g (%v) below p=%g (%v)", qs[i], vals[i], qs[i-1], vals[i-1])
+		}
+	}
+}
+
+func TestNormalizeQuantiles(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want []float64
+		err  bool
+	}{
+		{name: "empty", in: nil, want: nil},
+		{name: "sorted-deduped", in: []float64{0.99, 0.5, 0.95, 0.5}, want: []float64{0.5, 0.95, 0.99}},
+		{name: "nan", in: []float64{0.5, math.NaN()}, err: true},
+		{name: "zero", in: []float64{0}, err: true},
+		{name: "one", in: []float64{1}, err: true},
+		{name: "negative", in: []float64{-0.1}, err: true},
+		{name: "above-one", in: []float64{1.5}, err: true},
+		{name: "inf", in: []float64{math.Inf(1)}, err: true},
+	}
+	for _, tc := range cases {
+		got, err := NormalizeQuantiles(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("%s: no error for %v", tc.name, tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestExceedanceEdgeCases is the table-driven regression suite for the
+// quantile/exceedance edge cases the satellite names: 0- and 1-trial runs,
+// spec exactly at a sample point, and the all-exceed / none-exceed corners
+// that must be exactly {1, 0} with zero SE rather than NaN.
+func TestExceedanceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		xs       []float64
+		spec     float64
+		wantP    float64
+		wantSE   float64
+		wantHits int
+	}{
+		{name: "zero-trials", xs: nil, spec: 1, wantP: math.NaN(), wantSE: math.NaN()},
+		{name: "one-trial-below", xs: []float64{0.5}, spec: 1, wantP: 0, wantSE: 0},
+		{name: "one-trial-above", xs: []float64{2}, spec: 1, wantP: 1, wantSE: 0, wantHits: 1},
+		{name: "spec-at-sample", xs: []float64{1, 2, 3}, spec: 2, wantP: 1.0 / 3, wantSE: BinomialSE(1.0/3, 3), wantHits: 1},
+		{name: "all-exceed", xs: []float64{2, 3, 4, 5}, spec: 1, wantP: 1, wantSE: 0, wantHits: 4},
+		{name: "none-exceed", xs: []float64{2, 3, 4, 5}, spec: 10, wantP: 0, wantSE: 0},
+		{name: "spec-at-max", xs: []float64{1, 2, 3}, spec: 3, wantP: 0, wantSE: 0},
+	}
+	for _, tc := range cases {
+		got := ExceedanceOf(tc.xs, tc.spec)
+		if math.IsNaN(tc.wantP) {
+			if !math.IsNaN(got.P) || !math.IsNaN(got.SE) {
+				t.Errorf("%s: got (%v, %v), want NaN no-data values", tc.name, got.P, got.SE)
+			}
+			continue
+		}
+		if got.P != tc.wantP || got.SE != tc.wantSE || got.Hits != tc.wantHits {
+			t.Errorf("%s: got P=%v SE=%v hits=%d, want P=%v SE=%v hits=%d",
+				tc.name, got.P, got.SE, got.Hits, tc.wantP, tc.wantSE, tc.wantHits)
+		}
+		if got.N != len(tc.xs) {
+			t.Errorf("%s: N=%d, want %d", tc.name, got.N, len(tc.xs))
+		}
+	}
+}
+
+func TestBinomialSE(t *testing.T) {
+	if se := BinomialSE(0.5, 100); math.Abs(se-0.05) > 1e-15 {
+		t.Errorf("BinomialSE(0.5, 100) = %v, want 0.05", se)
+	}
+	for _, p := range []float64{0, 1} {
+		if se := BinomialSE(p, 10); se != 0 {
+			t.Errorf("BinomialSE(%g, 10) = %v, want exactly 0", p, se)
+		}
+	}
+	for _, bad := range []struct {
+		p float64
+		n int
+	}{{0.5, 0}, {0.5, -1}, {math.NaN(), 5}, {-0.1, 5}, {1.1, 5}} {
+		if se := BinomialSE(bad.p, bad.n); !math.IsNaN(se) {
+			t.Errorf("BinomialSE(%g, %d) = %v, want NaN", bad.p, bad.n, se)
+		}
+	}
+}
+
+func TestExceedanceWeighted(t *testing.T) {
+	// Unit weights must reproduce the plain estimator exactly.
+	xs := []float64{1, 2, 3, 4, 5}
+	ones := []float64{1, 1, 1, 1, 1}
+	w := ExceedanceWeighted(xs, ones, 3)
+	plain := ExceedanceOf(xs, 3)
+	if w.P != plain.P || w.Hits != plain.Hits {
+		t.Errorf("unit-weight IS (P=%v hits=%d) != plain (P=%v hits=%d)", w.P, w.Hits, plain.P, plain.Hits)
+	}
+	if math.Abs(w.ESS-5) > 1e-12 || math.Abs(w.HitESS-2) > 1e-12 {
+		t.Errorf("unit-weight ESS=%v hitESS=%v, want 5 and 2", w.ESS, w.HitESS)
+	}
+
+	// None-exceed: estimate and SE exactly zero, never NaN.
+	w = ExceedanceWeighted(xs, ones, 10)
+	if w.P != 0 || w.SE != 0 || w.Hits != 0 || w.HitESS != 0 {
+		t.Errorf("none-exceed weighted = %+v, want exact zeros", w)
+	}
+
+	// Empty input: explicit no-data values.
+	w = ExceedanceWeighted(nil, nil, 1)
+	if !math.IsNaN(w.P) || !math.IsNaN(w.SE) {
+		t.Errorf("empty weighted = %+v, want NaN no-data values", w)
+	}
+
+	// Uniform weight scaling scales P and SE but leaves ESS invariant —
+	// the property that makes ESS a pure diagnostic.
+	ws := []float64{0.5, 2, 1, 0.25, 4}
+	base := ExceedanceWeighted(xs, ws, 2.5)
+	scaled := make([]float64, len(ws))
+	for i := range ws {
+		scaled[i] = 3 * ws[i]
+	}
+	sc := ExceedanceWeighted(xs, scaled, 2.5)
+	if math.Abs(sc.P-3*base.P) > 1e-12*base.P || math.Abs(sc.SE-3*base.SE) > 1e-12*math.Max(base.SE, 1) {
+		t.Errorf("3×-scaled weighted (P=%v SE=%v), want 3×(%v, %v)", sc.P, sc.SE, base.P, base.SE)
+	}
+	if math.Abs(sc.ESS-base.ESS) > 1e-9 || math.Abs(sc.HitESS-base.HitESS) > 1e-9 {
+		t.Errorf("ESS changed under uniform scaling: %v/%v vs %v/%v", sc.ESS, sc.HitESS, base.ESS, base.HitESS)
+	}
+
+	// Length mismatch is a caller bug and panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	ExceedanceWeighted(xs, ones[:3], 1)
+}

@@ -190,6 +190,28 @@ type Estimator struct {
 	// large ones to the O(S log S) circulant-embedding FFT sampler;
 	// SamplerDense and SamplerFFT force one path.
 	Sampler MCSampler
+	// Spec is a full-chip leakage spec in amperes. When > 0, MonteCarlo
+	// runs additionally report the exceedance probability P[I_leak > Spec]
+	// — one minus the parametric yield at the spec — in Result.Tail.
+	Spec float64
+	// Quantiles lists probabilities (each strictly inside (0,1)) at which
+	// MonteCarlo runs report leakage quantiles in Result.Tail; empty
+	// requests none.
+	Quantiles []float64
+	// TailTrials is the importance-sampled trial budget for deep-tail
+	// exceedance estimation (the mean-shifted proposal of
+	// chipmc.TailConfig); 0 estimates the exceedance from the primary
+	// trials alone. Requires Spec > 0.
+	TailTrials int
+}
+
+// tailConfig assembles the chipmc tail configuration from the estimator's
+// tail fields; nil when no tail statistics are requested.
+func (e *Estimator) tailConfig() *TailConfig {
+	if e.Spec == 0 && len(e.Quantiles) == 0 {
+		return nil
+	}
+	return &TailConfig{Spec: e.Spec, Quantiles: e.Quantiles, ISTrials: e.TailTrials}
 }
 
 // NewEstimator creates an estimator. proc may be nil to use the process the

@@ -1,9 +1,12 @@
 // Command jsoncheck validates that a file parses as JSON, so shell scripts
 // (scripts/server_smoke.sh) can check API responses without assuming jq or
 // python on the host. With -array the document must additionally be a
-// non-empty JSON array — the shape of a Chrome trace-event export.
+// non-empty JSON array — the shape of a Chrome trace-event export. With
+// -get PATH the value at a dotted path (object keys and numeric array
+// indices, e.g. monte_carlo.tail.quantiles.1.value_a) is printed to stdout;
+// a missing path is an error.
 //
-//	go run ./scripts/jsoncheck.go [-array] FILE
+//	go run ./scripts/jsoncheck.go [-array] [-get PATH] FILE
 package main
 
 import (
@@ -11,13 +14,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 func main() {
 	array := flag.Bool("array", false, "require a non-empty JSON array")
+	get := flag.String("get", "", "print the value at this dotted path")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: jsoncheck [-array] FILE")
+		fmt.Fprintln(os.Stderr, "usage: jsoncheck [-array] [-get PATH] FILE")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -40,6 +46,41 @@ func main() {
 		if len(arr) == 0 {
 			fmt.Fprintf(os.Stderr, "jsoncheck: %s: empty JSON array\n", path)
 			os.Exit(1)
+		}
+	}
+	if *get != "" {
+		cur := doc
+		for _, key := range strings.Split(*get, ".") {
+			switch node := cur.(type) {
+			case map[string]any:
+				v, ok := node[key]
+				if !ok {
+					fmt.Fprintf(os.Stderr, "jsoncheck: %s: no key %q on path %q\n", path, key, *get)
+					os.Exit(1)
+				}
+				cur = v
+			case []any:
+				i, err := strconv.Atoi(key)
+				if err != nil || i < 0 || i >= len(node) {
+					fmt.Fprintf(os.Stderr, "jsoncheck: %s: bad index %q on path %q\n", path, key, *get)
+					os.Exit(1)
+				}
+				cur = node[i]
+			default:
+				fmt.Fprintf(os.Stderr, "jsoncheck: %s: path %q descends into a scalar at %q\n", path, *get, key)
+				os.Exit(1)
+			}
+		}
+		switch v := cur.(type) {
+		case float64:
+			fmt.Println(strconv.FormatFloat(v, 'g', -1, 64))
+		case string:
+			fmt.Println(v)
+		case bool, nil:
+			fmt.Println(v)
+		default:
+			out, _ := json.Marshal(v)
+			fmt.Println(string(out))
 		}
 	}
 }

@@ -7,7 +7,10 @@
 #   2. concurrent duplicate requests are collapsed by the singleflight
 #      artifact cache (exactly one library characterization, the rest
 #      served as cache hits — read off /metrics);
-#   3. SIGTERM drains and the process exits 0.
+#   3. a placed .bench design with a tail request answers the `tail` block:
+#      quantiles, then an exceedance at a spec placed from the sampled Q90
+#      with a healthy importance-sampled estimate;
+#   4. SIGTERM drains and the process exits 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,6 +81,33 @@ code=$(curl -s -o "$tmp/trace_chrome.json" -w '%{http_code}' "http://$addr/debug
 [ "$code" = 200 ] || { cat "$tmp/trace_chrome.json" >&2; echo "Chrome export answered $code, want 200" >&2; exit 1; }
 go run ./scripts/jsoncheck.go -array "$tmp/trace_chrome.json"
 echo "   trace $rid retrievable; Chrome export parses as JSON"
+
+echo "== tail estimation (quantiles, exceedance, importance sampling)"
+bench='INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(f)\ng1 = NAND(a, b)\ng2 = NOT(g1)\ng3 = NOR(g2, c)\ng4 = AND(g1, g3)\nf = NAND(g2, g4)\n'
+tail1="{\"bench\":\"$bench\",\"mc_samples\":3000,\"seed\":7,\"tail\":{\"quantiles\":[0.5,0.9]}}"
+code=$(curl -s -o "$tmp/tail1.json" -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d "$tail1" "http://$addr/v1/estimate")
+[ "$code" = 200 ] || { cat "$tmp/tail1.json" >&2; echo "tail quantile request answered $code, want 200" >&2; exit 1; }
+go run ./scripts/jsoncheck.go "$tmp/tail1.json"
+q50=$(go run ./scripts/jsoncheck.go -get monte_carlo.tail.quantiles.0.value_a "$tmp/tail1.json")
+q90=$(go run ./scripts/jsoncheck.go -get monte_carlo.tail.quantiles.1.value_a "$tmp/tail1.json")
+awk -v a="$q50" -v b="$q90" 'BEGIN { exit !(a > 0 && b > a) }' \
+  || { cat "$tmp/tail1.json" >&2; echo "quantiles not positive-ascending: Q50=$q50 Q90=$q90" >&2; exit 1; }
+echo "   Q50=$q50 A, Q90=$q90 A"
+
+tail2="{\"bench\":\"$bench\",\"mc_samples\":2000,\"seed\":7,\"tail\":{\"spec_a\":$q90,\"is_trials\":4000}}"
+code=$(curl -s -o "$tmp/tail2.json" -w '%{http_code}' \
+  -H 'Content-Type: application/json' -d "$tail2" "http://$addr/v1/estimate")
+[ "$code" = 200 ] || { cat "$tmp/tail2.json" >&2; echo "tail exceedance request answered $code, want 200" >&2; exit 1; }
+go run ./scripts/jsoncheck.go "$tmp/tail2.json"
+pex=$(go run ./scripts/jsoncheck.go -get monte_carlo.tail.p_exceed "$tmp/tail2.json")
+src=$(go run ./scripts/jsoncheck.go -get monte_carlo.tail.source "$tmp/tail2.json")
+# The spec sits at the sampled Q90, so P[I > spec] ≈ 0.1; a generous band
+# keeps the smoke test robust to seed and trial-count changes.
+awk -v p="$pex" 'BEGIN { exit !(p > 0.02 && p < 0.4) }' \
+  || { cat "$tmp/tail2.json" >&2; echo "p_exceed=$pex outside the sanity band around 0.1" >&2; exit 1; }
+[ "$src" = is ] || { cat "$tmp/tail2.json" >&2; echo "tail source $src, want a healthy importance-sampled estimate" >&2; exit 1; }
+echo "   P[I > Q90] = $pex (source $src)"
 
 echo "== SIGTERM drain"
 kill -TERM "$pid"
