@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race race-parallel fuzz bench conformance tail-conformance server-smoke tracecheck
+.PHONY: build test check vet race race-parallel fuzz bench conformance qmc-conformance tail-conformance server-smoke tracecheck
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,23 @@ conformance:
 	$(GO) run ./cmd/leakest verify -short -workers 1
 	$(GO) run ./cmd/leakest verify -short -workers 4 -json CONFORMANCE_leakest.json
 
+# qmc-conformance is the race-enabled gate for the quasi-Monte-Carlo
+# sampler, bottom-up: the Sobol/scramble and pair-field unit layers, the
+# batched FFT transform, the chipmc qmc path (determinism across worker
+# counts and batch sizes, dense-referee agreement, degrade plumbing,
+# alloc pins), then the statistical suite — frozen dense/fft referees,
+# equal-SE trial ratio, convergence-slope gates, and the degrade
+# self-check — first under the race detector, then via `leakest verify
+# -qmc` at two worker counts (the reports must be identical; the second
+# run writes the JSON artifact CI uploads).
+qmc-conformance:
+	$(GO) test -race ./internal/randvar/ -run 'Sobol|TopModes|Pair|SetMode|SamplePartial'
+	$(GO) test -race ./internal/fft/
+	$(GO) test -race ./internal/chipmc/ -run 'TestQMC'
+	$(GO) test -race ./internal/conformance/ -run 'QMC'
+	$(GO) run ./cmd/leakest verify -qmc -workers 1
+	$(GO) run ./cmd/leakest verify -qmc -workers 4 -json QMC_CONFORMANCE_leakest.json
+
 # tail-conformance is the focused race-enabled gate for the distribution-tail
 # estimators: the chipmc tail unit tests (IS agreement, fallbacks, weight
 # faults, determinism across workers, race hammer), the stats tail
@@ -55,7 +72,8 @@ server-smoke:
 # touch the disabled telemetry path.
 tracecheck:
 	$(GO) test ./internal/telemetry/ -run 'TestDisabledTracingAllocFree|TestSpanNoopWhenAllSinksOff'
-	$(GO) test ./internal/chipmc/ -run TestTrialBodyAllocs
+	$(GO) test ./internal/chipmc/ -run 'TestTrialBodyAllocs|TestQMCTrialBodyAllocs'
+	$(GO) test ./internal/randvar/ -run TestSobolAllocs
 
 # A short fuzz pass over the .bench parser; CI runs the seed corpus via
 # `go test`, this target digs further locally.

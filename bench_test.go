@@ -511,6 +511,45 @@ func BenchmarkChipMCFFT(b *testing.B) {
 	reportHealthMetrics(b, before)
 }
 
+// BenchmarkChipMCQMC measures the scrambled-Sobol quasi-Monte-Carlo path
+// on the same 10 000-gate placed design as BenchmarkChipMCFFT: trial pair
+// fields are batched through one 2-D FFT pass, so the per-trial cost sits
+// below the single-field FFT sampler while each trial carries the
+// low-discrepancy accuracy the conformance suite gates on.
+func BenchmarkChipMCQMC(b *testing.B) {
+	lib := benchLib(b)
+	est, err := NewEstimator(lib, experiments.ChipProcess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	est.Workers = envWorkers(b)
+	est.Sampler = SamplerQMC
+	est.Batch = 16
+	nl, err := RandomCircuit(lib, 1, "mc-qmc", 10000, 16, benchHist(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := AutoPlace(nl, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	EnableMetrics()
+	before := MetricsSnapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.MonteCarlo(nl, pl, 0.5, 64, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportHealthMetrics(b, before)
+	// The batch size the sampler actually ran with (the configured value
+	// rounded to whole pairs), read back from the telemetry gauge.
+	if g, ok := MetricsSnapshot()["chipmc_qmc_batch_size"].(float64); ok && g > 0 {
+		b.ReportMetric(g, "batch")
+	}
+}
+
 // BenchmarkChipMCTail compares plain Monte Carlo against the tilted
 // importance sampler at the same deep-tail spec (P ≈ 10⁻³, placed by the
 // analytic truth's lognormal fit so both arms measure the same quantity).

@@ -39,6 +39,7 @@ var gateCounts = map[string]int{
 	"FastTrueLeakage":      3512, // c7552
 	"Floorplan":            130000,
 	"ChipMCFFT":            10000,
+	"ChipMCQMC":            10000,
 	"TruthClassed":         11236, // 106², Fig. 6's largest size
 }
 
@@ -121,6 +122,9 @@ type Bench struct {
 	Sampler      string  `json:"sampler,omitempty"`
 	Degradations float64 `json:"degradations_per_op,omitempty"`
 	CacheHits    float64 `json:"cache_hits_per_op,omitempty"`
+	// Batch is the qmc sampler's trial-fields-per-FFT-pass batch size
+	// (the "batch" unit BenchmarkChipMCQMC reports).
+	Batch int `json:"batch,omitempty"`
 }
 
 // Report is the top-level document written to -o.
@@ -181,6 +185,8 @@ func parseLine(line string) (Bench, bool) {
 			b.Degradations = v
 		case "cache-hits/op":
 			b.CacheHits = v
+		case "batch":
+			b.Batch = int(v)
 		default:
 			if s, ok := strings.CutPrefix(unit, "sampler:"); ok {
 				b.Sampler = s

@@ -46,6 +46,26 @@ func TestParseLineHealthMetrics(t *testing.T) {
 	}
 }
 
+func TestParseLineQMCSamplerAndBatch(t *testing.T) {
+	line := "BenchmarkChipMCQMC-4 \t 1\t 205737340 ns/op\t 1.000 sampler:qmc\t 16 batch"
+	b, ok := parseLine(line)
+	if !ok {
+		t.Fatalf("line not recognized")
+	}
+	if b.Sampler != "qmc" {
+		t.Errorf("sampler = %q, want qmc", b.Sampler)
+	}
+	if b.Batch != 16 {
+		t.Errorf("batch = %d, want 16", b.Batch)
+	}
+	if b.Gates != 10000 {
+		t.Errorf("gates = %d, want the ChipMCQMC design size", b.Gates)
+	}
+	if len(b.Metrics) != 0 {
+		t.Errorf("promoted units must not also land in Metrics: %+v", b.Metrics)
+	}
+}
+
 func TestParseLineWorkersSubBenchmark(t *testing.T) {
 	b, ok := parseLine("BenchmarkTrueLeakageWorkers/workers=4-8 \t 3\t 41000000 ns/op")
 	if !ok {

@@ -195,7 +195,8 @@ func main() {
 	methodFlag := flag.String("method", "auto", "estimator: auto|linear|integral|polar|naive")
 	truth := flag.Bool("truth", false, "late mode: also compute the O(n²) true leakage for comparison")
 	mc := flag.Int("mc", 0, "late mode: also run a full-chip Monte Carlo with this many samples")
-	samplerFlag := flag.String("sampler", "auto", "Monte-Carlo field sampler: auto|dense|fft")
+	samplerFlag := flag.String("sampler", "auto", "Monte-Carlo field sampler: auto|dense|fft|qmc")
+	batch := flag.Int("batch", 0, "with -sampler qmc: trial fields per batched FFT pass; 0 = default")
 	spec := flag.Float64("spec", 0, "with -mc: leakage spec in A; report P[I_leak > spec] (yield at spec)")
 	quantilesFlag := flag.String("quantiles", "", "with -mc: comma-separated tail probabilities, e.g. \"0.5,0.95,0.999\"")
 	tailTrials := flag.Int("tail-trials", 0, "with -spec: importance-sampled deep-tail trial budget; 0 = plain MC only")
@@ -294,6 +295,7 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	est.Batch = *batch
 	est.Spec = *spec
 	est.TailTrials = *tailTrials
 	est.Quantiles, err = parseQuantiles(*quantilesFlag)

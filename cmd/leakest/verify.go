@@ -23,6 +23,7 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "goroutines for the estimator loops; 0 = all cores (report identical at any setting)")
 	seed := fs.Int64("seed", 0, "override every random stream (0 = the shared characterization seed)")
 	jsonPath := fs.String("json", "", "write the full conformance report JSON to this path; \"-\" = stdout")
+	qmc := fs.Bool("qmc", false, "run the quasi-Monte-Carlo suite instead: scrambled-Sobol convergence, equal-SE ratio, and frozen-referee gates")
 	skipMutation := fs.Bool("skip-mutation", false, "skip the mutation self-check (it roughly doubles the runtime)")
 	verbose := fs.Bool("v", false, "list every check, not just failures")
 	if err := fs.Parse(args); err != nil {
@@ -37,13 +38,17 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 	defer stop()
 	cfg := conformance.Config{Short: *short, Seed: *seed, Workers: *workers}
 
-	rep, err := conformance.Run(ctx, cfg)
+	run, selfCheck := conformance.Run, conformance.MutationSelfCheck
+	if *qmc {
+		run, selfCheck = conformance.RunQMC, conformance.QMCSelfCheck
+	}
+	rep, err := run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "leakest verify: %v\n", err)
 		return 2
 	}
 	if !*skipMutation {
-		results, err := conformance.MutationSelfCheck(ctx, cfg)
+		results, err := selfCheck(ctx, cfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "leakest verify: %v\n", err)
 			return 2

@@ -19,7 +19,7 @@ func TestParseSampler(t *testing.T) {
 	for _, c := range []struct {
 		in   string
 		want Sampler
-	}{{"auto", SamplerAuto}, {"dense", SamplerDense}, {"fft", SamplerFFT}} {
+	}{{"auto", SamplerAuto}, {"dense", SamplerDense}, {"fft", SamplerFFT}, {"qmc", SamplerQMC}} {
 		got, err := ParseSampler(c.in)
 		if err != nil || got != c.want {
 			t.Errorf("ParseSampler(%q) = %v, %v", c.in, got, err)

@@ -123,6 +123,15 @@ func ComputeGolden(ctx context.Context, workers int) ([]GoldenEntry, error) {
 		return nil, err
 	}
 	add("e6.simpl_err_256", e6, "e6.simpl_err_worst", "worst simplified-corr σ error, WID-only and WID+D2D, % (§3.1.2)")
+
+	// QMC referee freeze: the dense and FFT sampler moments on the qmc
+	// conformance fixture, so the quasi-Monte-Carlo wiring cannot perturb
+	// either pseudo-random path without tripping the golden gate.
+	qe, err := qmcGoldenEntries(ctx, lib, workers)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, qe...)
 	return out, nil
 }
 

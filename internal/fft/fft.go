@@ -141,8 +141,25 @@ func Transform2D(x []complex128, rows, cols int, inverse bool) error {
 // Scratch2DLen(rows, cols) elements, so per-trial callers (the MC sampler)
 // stay allocation-free.
 func Transform2DInto(x []complex128, rows, cols int, inverse bool, scratch []complex128) error {
-	if len(x) != rows*cols {
-		return fmt.Errorf("fft: buffer length %d != %d×%d", len(x), rows, cols)
+	return Transform2DBatchInto(x, 1, rows, cols, inverse, scratch)
+}
+
+// Transform2DBatchInto computes the in-place 2-D DFT of batch row-major
+// rows×cols buffers stored contiguously in x (member b occupies
+// x[b·rows·cols : (b+1)·rows·cols]). The per-member butterfly sequence is
+// exactly Transform2DInto's, so each member's result is bitwise identical to
+// a standalone transform at any batch size — the property the qmc sampler's
+// batch-invariance contract rests on. Batching buys locality, not different
+// math: within each column block the gather/transform/scatter runs across
+// all members while the block's twiddle walk is hot. scratch needs
+// Scratch2DLen(rows, cols) elements regardless of batch.
+func Transform2DBatchInto(x []complex128, batch, rows, cols int, inverse bool, scratch []complex128) error {
+	if batch < 1 {
+		return fmt.Errorf("fft: batch %d must be positive", batch)
+	}
+	stride := rows * cols
+	if len(x) != batch*stride {
+		return fmt.Errorf("fft: buffer length %d != %d×%d×%d", len(x), batch, rows, cols)
 	}
 	if !IsPow2(rows) || !IsPow2(cols) {
 		return fmt.Errorf("fft: dimensions %d×%d are not powers of two", rows, cols)
@@ -150,36 +167,43 @@ func Transform2DInto(x []complex128, rows, cols int, inverse bool, scratch []com
 	if need := Scratch2DLen(rows, cols); len(scratch) < need {
 		return fmt.Errorf("fft: scratch length %d < required %d", len(scratch), need)
 	}
-	for r := 0; r < rows; r++ {
-		if err := Transform(x[r*cols:(r+1)*cols], inverse); err != nil {
-			return err
+	for b := 0; b < batch; b++ {
+		t := x[b*stride : (b+1)*stride]
+		for r := 0; r < rows; r++ {
+			if err := Transform(t[r*cols:(r+1)*cols], inverse); err != nil {
+				return err
+			}
 		}
 	}
 	if rows == 1 {
 		return nil
 	}
 	// Columns in blocks: gather colBlock adjacent columns into contiguous
-	// per-column vectors, transform each, scatter back.
+	// per-column vectors, transform each, scatter back — for every batch
+	// member while the block offset (and its twiddle footprint) stays hot.
 	for c0 := 0; c0 < cols; c0 += colBlock {
 		bc := colBlock
 		if c0+bc > cols {
 			bc = cols - c0
 		}
-		for r := 0; r < rows; r++ {
-			row := x[r*cols+c0 : r*cols+c0+bc]
-			for j, v := range row {
-				scratch[j*rows+r] = v
+		for b := 0; b < batch; b++ {
+			t := x[b*stride : (b+1)*stride]
+			for r := 0; r < rows; r++ {
+				row := t[r*cols+c0 : r*cols+c0+bc]
+				for j, v := range row {
+					scratch[j*rows+r] = v
+				}
 			}
-		}
-		for j := 0; j < bc; j++ {
-			if err := Transform(scratch[j*rows:(j+1)*rows], inverse); err != nil {
-				return err
+			for j := 0; j < bc; j++ {
+				if err := Transform(scratch[j*rows:(j+1)*rows], inverse); err != nil {
+					return err
+				}
 			}
-		}
-		for r := 0; r < rows; r++ {
-			row := x[r*cols+c0 : r*cols+c0+bc]
-			for j := range row {
-				row[j] = scratch[j*rows+r]
+			for r := 0; r < rows; r++ {
+				row := t[r*cols+c0 : r*cols+c0+bc]
+				for j := range row {
+					row[j] = scratch[j*rows+r]
+				}
 			}
 		}
 	}

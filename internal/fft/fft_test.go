@@ -176,3 +176,54 @@ func TestNextPow2(t *testing.T) {
 		}
 	}
 }
+
+// TestTransform2DBatchBitwise pins the batch-invariance contract: every
+// member of a batched transform must be bitwise identical to a standalone
+// Transform2DInto of the same data, at every batch size and for odd and even
+// batches alike.
+func TestTransform2DBatchBitwise(t *testing.T) {
+	for _, dims := range [][2]int{{1, 8}, {4, 4}, {8, 2}, {16, 32}, {32, 16}} {
+		rows, cols := dims[0], dims[1]
+		stride := rows * cols
+		for _, batch := range []int{1, 2, 3, 5, 8} {
+			for _, inverse := range []bool{false, true} {
+				src := randComplex(batch*stride, int64(rows*1000+cols*10+batch))
+				got := append([]complex128(nil), src...)
+				scratch := make([]complex128, Scratch2DLen(rows, cols))
+				if err := Transform2DBatchInto(got, batch, rows, cols, inverse, scratch); err != nil {
+					t.Fatal(err)
+				}
+				for b := 0; b < batch; b++ {
+					want := append([]complex128(nil), src[b*stride:(b+1)*stride]...)
+					if err := Transform2DInto(want, rows, cols, inverse, make([]complex128, Scratch2DLen(rows, cols))); err != nil {
+						t.Fatal(err)
+					}
+					for k := range want {
+						if got[b*stride+k] != want[k] {
+							t.Fatalf("%dx%d batch=%d inverse=%v member %d: point %d differs bitwise (%v vs %v)",
+								rows, cols, batch, inverse, b, k, got[b*stride+k], want[k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransform2DBatchRejects pins the batch validation errors.
+func TestTransform2DBatchRejects(t *testing.T) {
+	scratch := make([]complex128, Scratch2DLen(4, 4))
+	x := make([]complex128, 32)
+	if err := Transform2DBatchInto(x, 0, 4, 4, false, scratch); err == nil {
+		t.Error("batch 0 must be rejected")
+	}
+	if err := Transform2DBatchInto(x, 3, 4, 4, false, scratch); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+	if err := Transform2DBatchInto(x[:18], 2, 3, 3, false, scratch); err == nil {
+		t.Error("non-power-of-two dims must be rejected")
+	}
+	if err := Transform2DBatchInto(x, 2, 4, 4, false, scratch[:1]); err == nil {
+		t.Error("short scratch must be rejected")
+	}
+}

@@ -233,6 +233,36 @@ func (s *MVNSampler) SampleInto(rng *rand.Rand, z, out []float64) {
 	}
 }
 
+// SamplePartialInto is SampleInto except the leading fixed entries of z are
+// taken as the caller supplied them — the quasi-MC hook: low-discrepancy
+// deviates drive the first Cholesky directions (which carry the most field
+// variance; with a D2D component the first column is the dominant shared
+// shift), and only z[fixed:] is drawn from rng, in index order. With
+// fixed = 0 the draw is bitwise identical to SampleInto. Allocation-free.
+func (s *MVNSampler) SamplePartialInto(rng *rand.Rand, z, out []float64, fixed int) {
+	n := len(s.mean)
+	if len(out) != n {
+		panic(fmt.Sprintf("randvar: Sample out length %d != dim %d", len(out), n))
+	}
+	if len(z) != n {
+		panic(fmt.Sprintf("randvar: Sample scratch length %d != dim %d", len(z), n))
+	}
+	if fixed < 0 || fixed > n {
+		panic(fmt.Sprintf("randvar: Sample fixed count %d outside [0, %d]", fixed, n))
+	}
+	for i := fixed; i < n; i++ {
+		z[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		row := s.l.Row(i)
+		acc := s.mean[i]
+		for j := 0; j <= i; j++ {
+			acc += row[j] * z[j]
+		}
+		out[i] = acc
+	}
+}
+
 // BivariateNormal draws a correlated standard-normal pair with correlation
 // rho, scaled to the given means and sigmas. It is the cheap special case
 // used throughout cell characterization.

@@ -539,6 +539,7 @@ func (s *Server) runMonteCarlo(ctx context.Context, est *leakest.Estimator, req 
 		Seed:       orDefaultI64(req.Seed, 1),
 		Workers:    s.cfg.EstimatorWorkers,
 		Sampler:    sampler,
+		Batch:      req.MCBatch,
 	}
 	if req.Tail != nil {
 		cfg.Tail = &chipmc.TailConfig{
@@ -549,7 +550,8 @@ func (s *Server) runMonteCarlo(ctx context.Context, est *leakest.Estimator, req 
 	}
 	// Artifact 3: the FFT torus embedding, shared across requests hitting
 	// the same (process, grid).
-	if sampler == leakest.SamplerFFT || (sampler == leakest.SamplerAuto && n > chipmc.DefaultMaxGates) {
+	if sampler == leakest.SamplerFFT ||
+		((sampler == leakest.SamplerAuto || sampler == leakest.SamplerQMC) && n > chipmc.DefaultMaxGates) {
 		g := bench.pl.Grid
 		gsAny, gerr := s.cache.get(ctx, "embedding",
 			embeddingKey(proc, g.Rows, g.Cols, g.SiteW, g.SiteH),

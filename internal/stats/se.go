@@ -24,3 +24,36 @@ func StdSE(sigma float64, n int) float64 {
 	}
 	return sigma / math.Sqrt(2*float64(n-1))
 }
+
+// SlopeLogLog fits ln(y) = a + b·ln(x) by least squares and returns the
+// slope b — the convergence-order estimator behind the qmc conformance
+// gate, where plain Monte Carlo error decays with slope ≈ −1/2 and a
+// scrambled low-discrepancy sequence materially steeper. Panics on length
+// mismatch or fewer than two points; any non-positive coordinate (which has
+// no logarithm) yields NaN so gates fail loudly rather than pass on
+// garbage.
+func SlopeLogLog(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: SlopeLogLog length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("stats: SlopeLogLog needs at least two points")
+	}
+	var sx, sy, sxx, sxy float64
+	for i, x := range xs {
+		if x <= 0 || ys[i] <= 0 {
+			return math.NaN()
+		}
+		lx, ly := math.Log(x), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}

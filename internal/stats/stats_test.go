@@ -222,3 +222,42 @@ func TestQuantileProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSlopeLogLog(t *testing.T) {
+	// Exact power law y = 3·x^(-1/2) must recover the slope to machine
+	// precision.
+	xs := []float64{128, 512, 2048}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, -0.5)
+	}
+	if got := SlopeLogLog(xs, ys); math.Abs(got+0.5) > 1e-12 {
+		t.Errorf("SlopeLogLog = %g, want -0.5", got)
+	}
+	for i, x := range xs {
+		ys[i] = 0.7 * math.Pow(x, -1)
+	}
+	if got := SlopeLogLog(xs, ys); math.Abs(got+1) > 1e-12 {
+		t.Errorf("SlopeLogLog = %g, want -1", got)
+	}
+	// Non-positive coordinates have no logarithm: NaN, not a panic.
+	if got := SlopeLogLog([]float64{1, 2}, []float64{1, 0}); !math.IsNaN(got) {
+		t.Errorf("SlopeLogLog with zero y = %g, want NaN", got)
+	}
+	if got := SlopeLogLog([]float64{2, 2}, []float64{1, 2}); !math.IsNaN(got) {
+		t.Errorf("SlopeLogLog with degenerate x = %g, want NaN", got)
+	}
+	for _, bad := range [][2][]float64{
+		{{1, 2}, {1}},
+		{{1}, {1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SlopeLogLog(%v, %v) must panic", bad[0], bad[1])
+				}
+			}()
+			SlopeLogLog(bad[0], bad[1])
+		}()
+	}
+}
