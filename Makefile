@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race race-parallel fuzz bench conformance qmc-conformance tail-conformance server-smoke tracecheck
+.PHONY: build test check vet race race-parallel fuzz bench conformance qmc-conformance tail-conformance tiled-conformance server-smoke tracecheck
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,27 @@ tail-conformance:
 	$(GO) test -race . -run 'TestDeterminismTail|TestTailAccumulatorRaceHammer'
 	$(GO) test -race ./internal/conformance/ -run 'TestTail'
 
+# tiled-conformance is the race-enabled gate for the §16 tiled pipeline,
+# bottom-up: the tile-partition and lag-count layers, the exact tiled
+# estimators, the per-tile Monte-Carlo runner (determinism, scratch reuse,
+# alloc pins), the streaming netlist reader (including its fuzz seed
+# corpus), then the statistical suite — bitwise tiled-vs-monolithic at
+# several tile counts, tile-count and worker invariance, the quadrature
+# envelope, the tiled MC law vs its serial pairwise reference, the
+# streaming round trip, and the mutation self-check — first under the race
+# detector, then via `leakest verify -tiled` at two worker counts (the
+# reports must be identical; the second run writes the JSON artifact CI
+# uploads).
+tiled-conformance:
+	$(GO) test -race ./internal/placement/ -run 'Tile|Partition'
+	$(GO) test -race ./internal/core/ -run 'Tiled'
+	$(GO) test -race ./internal/chipmc/ -run 'Tiled'
+	$(GO) test -race ./internal/netlist/ -run 'Stream|ScanPlaced'
+	$(GO) test -race ./internal/conformance/ -run 'Tiled'
+	$(GO) test -race . -run 'TestEstimatorTiles|TestEstimateStream|TestMonteCarloTiles'
+	$(GO) run ./cmd/leakest verify -tiled -workers 1
+	$(GO) run ./cmd/leakest verify -tiled -workers 4 -json TILED_CONFORMANCE_leakest.json
+
 # server-smoke boots leakestd on a loopback port and exercises the HTTP
 # API end to end: a small estimate must answer 200 with finite moments,
 # concurrent duplicates must collapse onto one library characterization
@@ -72,7 +93,7 @@ server-smoke:
 # touch the disabled telemetry path.
 tracecheck:
 	$(GO) test ./internal/telemetry/ -run 'TestDisabledTracingAllocFree|TestSpanNoopWhenAllSinksOff'
-	$(GO) test ./internal/chipmc/ -run 'TestTrialBodyAllocs|TestQMCTrialBodyAllocs'
+	$(GO) test ./internal/chipmc/ -run 'TestTrialBodyAllocs|TestQMCTrialBodyAllocs|TestTiledTrialBodyAllocs'
 	$(GO) test ./internal/randvar/ -run TestSobolAllocs
 
 # A short fuzz pass over the .bench parser; CI runs the seed corpus via
@@ -93,8 +114,12 @@ race-parallel:
 # the single-design benchmarks at a fixed pool size (recorded in the
 # report); the results are bitwise identical either way. A failed `go test`
 # yields no benchmark lines, which benchjson turns back into a non-zero
-# exit. Set BENCHJSON_FLAGS to gate on wall-time regressions, e.g.
-# BENCHJSON_FLAGS="-budget Fig6=41s" (see cmd/benchjson).
+# exit. The Fig6 and Table1 paper-accuracy benchmarks always run under a
+# wall-time budget (≈6× and ≈38× their local times, to absorb CI-host
+# noise) so a perf regression in the estimators they sweep fails the
+# target; add more gates via BENCHJSON_FLAGS="-budget ChipMCTiled=60s"
+# (see cmd/benchjson).
+BENCHJSON_BUDGETS = -budget Fig6=30s -budget Table1=5s
 BENCHJSON_FLAGS ?=
 bench:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_leakest.json $(BENCHJSON_FLAGS)
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -o BENCH_leakest.json $(BENCHJSON_BUDGETS) $(BENCHJSON_FLAGS)

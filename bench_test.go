@@ -8,7 +8,9 @@ package leakest
 // textual output.
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -18,7 +20,10 @@ import (
 	"leakest/internal/charlib"
 	"leakest/internal/core"
 	"leakest/internal/experiments"
+	"leakest/internal/netlist"
+	"leakest/internal/placement"
 	"leakest/internal/stats"
+	"leakest/internal/telemetry"
 )
 
 // envWorkers reads the LEAKEST_WORKERS override so CI can run the whole
@@ -635,6 +640,93 @@ func BenchmarkTruthClassed(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// syntheticPlaced builds an n-gate netlist (types round-robin over the
+// bench histogram, no wiring — leakage needs only types and sites) with a
+// deterministic row-major placement, without going through the random
+// circuit generator: at 10⁶ gates the generator's wiring step would
+// dominate the benchmark setup.
+func syntheticPlaced(b *testing.B, n int) (*Netlist, *Placement) {
+	b.Helper()
+	types := benchHist(b).Labels()
+	gates := make([]netlist.Gate, n)
+	for i := range gates {
+		gates[i].Type = types[i%len(types)]
+	}
+	nl := &Netlist{Name: fmt.Sprintf("synthetic-%d", n), NumPI: 1, Gates: gates}
+	grid, err := placement.AutoGrid(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := placement.RowMajor(grid, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nl, pl
+}
+
+// BenchmarkChipMCTiled measures the tiled full-chip Monte Carlo at the
+// million-gate scale the monolithic FFT sampler refuses: per-tile trial
+// fields lift the gate limit to DefaultMaxGatesTiled while the per-worker
+// scratch keeps the trial body allocation-free. Reports the tile count and
+// the run's peak heap bytes alongside the usual figures.
+func BenchmarkChipMCTiled(b *testing.B) {
+	lib := benchLib(b)
+	est, err := NewEstimator(lib, experiments.ChipProcess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	est.Workers = envWorkers(b)
+	est.Tiles = 8
+	nl, pl := syntheticPlaced(b, 1000000)
+	tiles := len(placement.Partition(pl.Grid, est.Tiles))
+	telemetry.ResetPeakAlloc()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.MonteCarlo(nl, pl, 0.5, 32, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	telemetry.SamplePeakAlloc()
+	b.ReportMetric(float64(tiles), "tiles")
+	b.ReportMetric(float64(telemetry.PeakAllocBytes()), "peak-bytes")
+}
+
+// BenchmarkEstimateStream measures the one-pass streaming estimator at the
+// ten-million-gate scale: a writer goroutine serializes a synthetic
+// leakest-stream design through a pipe while the reader folds it into
+// per-tile gate counts — peak memory stays O(tile) + O(tiles²), never
+// O(gates). Reports the tile count and the peak heap bytes of the pass.
+func BenchmarkEstimateStream(b *testing.B) {
+	lib := benchLib(b)
+	est, err := NewEstimator(lib, experiments.ChipProcess())
+	if err != nil {
+		b.Fatal(err)
+	}
+	est.Workers = envWorkers(b)
+	const side, tiles, gates = 3200, 16, 10000000
+	types := benchHist(b).Labels()
+	telemetry.ResetPeakAlloc()
+	b.ResetTimer()
+	var res Result
+	for i := 0; i < b.N; i++ {
+		pr, pw := io.Pipe()
+		go func() {
+			pw.CloseWithError(WriteSyntheticStream(pw, "bench-stream",
+				side, side, 1.0, 1.0, tiles, types, gates))
+		}()
+		res, err = est.EstimateStream(context.Background(), pr, 0.5)
+		pr.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	telemetry.SamplePeakAlloc()
+	b.ReportMetric(float64(len(res.TileStats)), "tiles")
+	b.ReportMetric(float64(telemetry.PeakAllocBytes()), "peak-bytes")
 }
 
 // BenchmarkGridCompare regenerates EX2: the Random-Gate estimator vs a

@@ -130,6 +130,10 @@ func (e *Estimator) EstimateBudgeted(ctx context.Context, design Design, budget 
 	if err := design.Validate(); err != nil {
 		return Result{}, err
 	}
+	if e.Tiles < 0 {
+		return Result{}, lkerr.New(lkerr.InvalidInput, "leakest.EstimateBudgeted",
+			"negative Tiles %d", e.Tiles)
+	}
 	ctx, tr := telemetry.EnsureTrace(ctx)
 	ctx, endEst := telemetry.WithSpan(ctx, "estimate")
 	defer endEst()
@@ -146,7 +150,13 @@ func (e *Estimator) EstimateBudgeted(ctx context.Context, design Design, budget 
 		reasons = append(reasons, why)
 	} else {
 		rctx, cancel := budget.rungCtx(ctx)
-		res, err = m.EstimateLinearCtx(rctx)
+		if e.Tiles > 1 {
+			// Bitwise-identical to the monolithic linear rung (§16), so the
+			// ladder semantics are unchanged; the result gains TileStats.
+			res, err = m.EstimateTiledCtx(rctx, e.Tiles, nil)
+		} else {
+			res, err = m.EstimateLinearCtx(rctx)
+		}
 		cancel()
 		if err == nil {
 			res = e.finish(markDegraded(res, nil))

@@ -41,6 +41,8 @@ var gateCounts = map[string]int{
 	"ChipMCFFT":            10000,
 	"ChipMCQMC":            10000,
 	"TruthClassed":         11236, // 106², Fig. 6's largest size
+	"ChipMCTiled":          1000000,
+	"EstimateStream":       10000000,
 }
 
 // budgets collects the repeatable -budget NAME=DURATION flags.
@@ -125,6 +127,11 @@ type Bench struct {
 	// Batch is the qmc sampler's trial-fields-per-FFT-pass batch size
 	// (the "batch" unit BenchmarkChipMCQMC reports).
 	Batch int `json:"batch,omitempty"`
+	// Tiles is the tile count a tiled-pipeline benchmark ran with, and
+	// PeakBytes its high-water heap mark (the "tiles" and "peak-bytes"
+	// units of BenchmarkChipMCTiled and BenchmarkEstimateStream).
+	Tiles     int     `json:"tiles,omitempty"`
+	PeakBytes float64 `json:"peak_bytes,omitempty"`
 }
 
 // Report is the top-level document written to -o.
@@ -187,6 +194,10 @@ func parseLine(line string) (Bench, bool) {
 			b.CacheHits = v
 		case "batch":
 			b.Batch = int(v)
+		case "tiles":
+			b.Tiles = int(v)
+		case "peak-bytes":
+			b.PeakBytes = v
 		default:
 			if s, ok := strings.CutPrefix(unit, "sampler:"); ok {
 				b.Sampler = s

@@ -196,6 +196,8 @@ func main() {
 	truth := flag.Bool("truth", false, "late mode: also compute the O(n²) true leakage for comparison")
 	mc := flag.Int("mc", 0, "late mode: also run a full-chip Monte Carlo with this many samples")
 	samplerFlag := flag.String("sampler", "auto", "Monte-Carlo field sampler: auto|dense|fft|qmc")
+	tiles := flag.Int("tiles", 0, "partition the die T×T and estimate per-tile with exact inter-tile combination (linear/auto/integral methods); 0 or 1 = monolithic")
+	streamPath := flag.String("stream", "", "streaming mode: one-pass estimate of a leakest-stream v1 file (die size and tiling come from its header)")
 	batch := flag.Int("batch", 0, "with -sampler qmc: trial fields per batched FFT pass; 0 = default")
 	spec := flag.Float64("spec", 0, "with -mc: leakage spec in A; report P[I_leak > spec] (yield at spec)")
 	quantilesFlag := flag.String("quantiles", "", "with -mc: comma-separated tail probabilities, e.g. \"0.5,0.95,0.999\"")
@@ -296,6 +298,7 @@ func main() {
 		fail("%v", err)
 	}
 	est.Batch = *batch
+	est.Tiles = *tiles
 	est.Spec = *spec
 	est.TailTrials = *tailTrials
 	est.Quantiles, err = parseQuantiles(*quantilesFlag)
@@ -304,6 +307,51 @@ func main() {
 	}
 	if (*spec != 0 || *quantilesFlag != "" || *tailTrials != 0) && *mc == 0 {
 		fail("-spec, -quantiles and -tail-trials need a Monte-Carlo run; add -mc N")
+	}
+
+	// Streaming mode: the netlist never fully materializes, so the design is
+	// extracted and estimated in one pass and the in-memory-only extras
+	// (-truth, -mc, -report) are refused up front.
+	if *streamPath != "" {
+		if *benchPath != "" || *histFlag != "" {
+			fail("-stream is its own input mode; drop -bench/-hist")
+		}
+		if *truth || *mc > 0 || *reportPath != "" {
+			fail("-truth, -mc and -report need an in-memory netlist; not available with -stream")
+		}
+		sp := *p
+		if sp < 0 {
+			sp = 0.5
+			fmt.Fprintln(os.Stderr, "note: streaming mode defaults the signal probability to 0.5 (pass -p to override)")
+		}
+		f, err := os.Open(*streamPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		res, err := est.EstimateStream(ctx, f, sp)
+		f.Close()
+		if err != nil {
+			failErr("streaming estimate", err)
+		}
+		gates := 0
+		for _, ts := range res.TileStats {
+			gates += ts.Gates
+		}
+		fmt.Printf("stream mode: %d gates in %d tiles\n", gates, len(res.TileStats))
+		fmt.Printf("\nmethod: %s", res.Method)
+		if res.Note != "" {
+			fmt.Printf(" (%s)", res.Note)
+		}
+		fmt.Printf("\nmean leakage: %.4g A\nstd  leakage: %.4g A  (%.2f%% of mean)\n",
+			res.Mean, res.Std, 100*res.Std/res.Mean)
+		fmt.Printf("mean + 3σ:    %.4g A\n", res.Mean+3*res.Std)
+		if *jsonReport != "" {
+			writeJSONReport(*jsonReport, leakest.Design{N: gates, SignalProb: sp}, res, nil, nil)
+		}
+		if runTrace != nil {
+			writeTraceFile(*tracePath, runTrace)
+		}
+		return
 	}
 
 	var design leakest.Design
@@ -361,6 +409,9 @@ func main() {
 	fmt.Printf("\nmethod: %s", res.Method)
 	if res.Note != "" {
 		fmt.Printf(" (%s)", res.Note)
+	}
+	if len(res.TileStats) > 0 {
+		fmt.Printf("\ntiles: %d (exact inter-tile combination)", len(res.TileStats))
 	}
 	if res.Degraded {
 		fmt.Printf("\ndegraded: %s", res.DegradeReason)

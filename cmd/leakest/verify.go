@@ -24,6 +24,7 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 0, "override every random stream (0 = the shared characterization seed)")
 	jsonPath := fs.String("json", "", "write the full conformance report JSON to this path; \"-\" = stdout")
 	qmc := fs.Bool("qmc", false, "run the quasi-Monte-Carlo suite instead: scrambled-Sobol convergence, equal-SE ratio, and frozen-referee gates")
+	tiled := fs.Bool("tiled", false, "run the tiled-pipeline suite instead: bitwise tiled-vs-monolithic, tile/worker invariance, streaming round trip, and the tiled MC law")
 	skipMutation := fs.Bool("skip-mutation", false, "skip the mutation self-check (it roughly doubles the runtime)")
 	verbose := fs.Bool("v", false, "list every check, not just failures")
 	if err := fs.Parse(args); err != nil {
@@ -39,8 +40,14 @@ func runVerify(args []string, stdout, stderr io.Writer) int {
 	cfg := conformance.Config{Short: *short, Seed: *seed, Workers: *workers}
 
 	run, selfCheck := conformance.Run, conformance.MutationSelfCheck
-	if *qmc {
+	switch {
+	case *qmc && *tiled:
+		fmt.Fprintln(stderr, "leakest verify: -qmc and -tiled are mutually exclusive")
+		return 2
+	case *qmc:
 		run, selfCheck = conformance.RunQMC, conformance.QMCSelfCheck
+	case *tiled:
+		run, selfCheck = conformance.RunTiled, conformance.TiledSelfCheck
 	}
 	rep, err := run(ctx, cfg)
 	if err != nil {

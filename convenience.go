@@ -86,6 +86,135 @@ func trimExt(path string) string {
 	return base
 }
 
+// StreamHeader is the design line of a leakest-stream placed netlist (the
+// streaming tile-ordered interchange of DESIGN.md §16).
+type StreamHeader = netlist.StreamHeader
+
+// WriteStream renders a placed netlist in leakest-stream format: gates
+// grouped by the tiles×tiles partition in tile-index order, ready for
+// EstimateStream.
+func WriteStream(w io.Writer, nl *Netlist, pl *Placement, tiles int) error {
+	return netlist.WritePlaced(w, nl, pl, tiles)
+}
+
+// WriteSyntheticStream streams a synthetic placed design of the given gate
+// count straight to w — the generator behind the multi-million-gate scale
+// experiments — occupying the first gates sites in tile order with cell
+// types assigned round-robin.
+func WriteSyntheticStream(w io.Writer, name string, rows, cols int, siteW, siteH float64, tiles int, types []string, gates int) error {
+	return netlist.WriteSyntheticStream(w, name, rows, cols, siteW, siteH, tiles, types, gates)
+}
+
+// EstimateStream performs late-mode estimation from a leakest-stream placed
+// netlist without materializing it. One pass over the stream accumulates the
+// cell-usage histogram, the gate count, and the per-tile gate populations —
+// peak memory is O(cell types) + O(tiles²) + O(scan buffer), independent of
+// the gate count — then the tiled linear estimator of DESIGN.md §16 combines
+// per-tile moments exactly through the inter-tile covariance. The global
+// moments are bitwise identical to the monolithic linear estimator fed the
+// same (histogram, N, W, H); Result.TileStats carries the per-tile picture
+// using the stream's actual per-tile populations when the model partition
+// matches the stream's (it does whenever the header's tiles fit both grid
+// dimensions).
+func (e *Estimator) EstimateStream(ctx context.Context, r io.Reader, signalProb float64) (res Result, err error) {
+	defer lkerr.RecoverInto(&err, "leakest.EstimateStream")
+	ctx, tr := telemetry.EnsureTrace(ctx)
+	ctx, endEst := telemetry.WithSpan(ctx, "estimate.stream")
+	defer endEst()
+
+	endScan := telemetry.StartSpan(ctx, "netlist.stream_scan")
+	// Per-type tallies live in a small linear-scanned slice, not a map: the
+	// comparison `names[i] == string(typ)` compiles without materializing
+	// the key, so the per-gate callback stays allocation-free (a map
+	// increment would allocate one string per gate).
+	var (
+		typeNames []string
+		typeTally []float64
+		tileGates []int
+		rep       *telemetry.Reporter
+		seen      int64
+	)
+	hdr, err := netlist.ScanPlaced(r, netlist.StreamVisitor{
+		Design: func(h StreamHeader) error {
+			tileGates = make([]int, len(placement.Partition(h.Grid(), h.Tiles)))
+			rep = telemetry.StartProgress(ctx, "netlist.stream_scan", int64(h.Gates))
+			return nil
+		},
+		Gate: func(ti int, typ []byte, _, _ int) error {
+			idx := -1
+			for i := range typeNames {
+				if typeNames[i] == string(typ) {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 {
+				typeTally[idx]++
+			} else {
+				typeNames = append(typeNames, string(typ))
+				typeTally = append(typeTally, 1)
+			}
+			tileGates[ti]++
+			seen++
+			if seen%(1<<16) == 0 {
+				rep.Tick(seen)
+				return ctx.Err()
+			}
+			return nil
+		},
+	})
+	rep.Done(seen)
+	endScan()
+	if err != nil {
+		if cerr := lkerr.FromContext(ctx, "leakest.EstimateStream"); cerr != nil {
+			return Result{}, cerr
+		}
+		return Result{}, err
+	}
+	telemetry.SamplePeakAlloc()
+	telemetry.SpanAttrInt(ctx, "gates", int64(hdr.Gates))
+	telemetry.SpanAttrInt(ctx, "tiles", int64(len(tileGates)))
+
+	typeCounts := make(map[string]float64, len(typeNames))
+	for i, name := range typeNames {
+		typeCounts[name] = typeTally[i]
+	}
+	hist, err := stats.NewHistogram(typeCounts)
+	if err != nil {
+		return Result{}, err
+	}
+	design := Design{
+		Hist:       hist,
+		N:          hdr.Gates,
+		W:          float64(hdr.Cols) * hdr.SiteW,
+		H:          float64(hdr.Rows) * hdr.SiteH,
+		SignalProb: signalProb,
+	}
+	if err := design.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, err := e.newModelCtx(ctx, design)
+	if err != nil {
+		return Result{}, err
+	}
+	// The stream's per-tile populations apply when the model grid admits the
+	// same tiles×tiles partition as the site grid; on degenerate shapes fall
+	// back to the estimator's own largest-remainder allocation.
+	counts := tileGates
+	if len(counts) != m.TiledPartitionLen(hdr.Tiles) {
+		counts = nil
+	}
+	res, err = m.EstimateTiledCtx(ctx, hdr.Tiles, counts)
+	if err != nil {
+		return Result{}, err
+	}
+	telemetry.SamplePeakAlloc()
+	res = e.finish(res)
+	telemetry.SpanAttrStr(ctx, "method", res.Method)
+	res.Timings = tr.Stages()
+	return res, nil
+}
+
 // ISCASCircuit synthesizes one of the ISCAS85 stand-in benchmarks (c432 …
 // c7552) with its published gate count and a function-appropriate cell mix,
 // placed on the uniform site grid. Deterministic per seed.
@@ -164,6 +293,7 @@ func (e *Estimator) MonteCarloContext(ctx context.Context, nl *Netlist, pl *Plac
 		Workers:    e.Workers,
 		Sampler:    e.Sampler,
 		Batch:      e.Batch,
+		Tiles:      e.Tiles,
 		Tail:       e.tailConfig(),
 	}, nl, pl)
 }
@@ -184,6 +314,7 @@ func (e *Estimator) MonteCarloBudgeted(ctx context.Context, nl *Netlist, pl *Pla
 		Workers:    e.Workers,
 		Sampler:    e.Sampler,
 		Batch:      e.Batch,
+		Tiles:      e.Tiles,
 		Tail:       e.tailConfig(),
 	}, nl, pl)
 }

@@ -161,6 +161,16 @@ type Config struct {
 	// is built fresh. The sampler must have been built for the same
 	// process (the embedding depends only on the WID kernel and the grid).
 	Prebuilt *randvar.GridSampler
+	// Tiles partitions the placement grid into a Tiles×Tiles arrangement
+	// and samples the within-die field per tile (WID-only sub-grid
+	// embeddings sharing one chip-wide D2D deviate per trial) instead of on
+	// one monolithic torus, so field memory scales with the largest tile
+	// rather than the die (DESIGN.md §16). Values ≤ 1 select the monolithic
+	// samplers (the historical behavior). Tiled sampling drops the
+	// within-die correlation of cross-tile gate pairs to the D2D floor — an
+	// approximation the conformance harness gates against an exact
+	// reference — and requires the fft or auto sampler.
+	Tiles int
 	// KeepTrials retains the per-trial chip totals in Result.Trials — the
 	// raw MC stream, used by the determinism suite and by distribution
 	// diagnostics. Off by default (costs 8 bytes per trial when on).
@@ -361,6 +371,24 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	if err != nil {
 		return Result{}, err
 	}
+	if cfg.Tiles < 0 {
+		return Result{}, lkerr.New(lkerr.InvalidInput, op, "negative Tiles %d", cfg.Tiles)
+	}
+	if cfg.Tiles > 1 {
+		if cfg.Sampler == SamplerDense || cfg.Sampler == SamplerQMC {
+			return Result{}, lkerr.New(lkerr.InvalidInput, op,
+				"tiled sampling (Tiles=%d) requires the fft or auto sampler, got %s",
+				cfg.Tiles, cfg.Sampler)
+		}
+		if cfg.Tail != nil {
+			return Result{}, lkerr.New(lkerr.InvalidInput, op,
+				"tiled sampling does not support tail estimation; run with Tiles=0")
+		}
+		use = SamplerFFT
+		if cfg.MaxGates == 0 {
+			maxGates = DefaultMaxGatesTiled
+		}
+	}
 	if n > maxGates {
 		return Result{}, lkerr.New(lkerr.BudgetExceeded, op,
 			"%d gates exceed the %s-sampler limit MaxGates=%d; "+
@@ -405,6 +433,10 @@ func RunContext(ctx context.Context, cfg Config, nl *netlist.Netlist, pl *placem
 	gates, err := buildGateStates(cfg, nl)
 	if err != nil {
 		return Result{}, err
+	}
+
+	if cfg.Tiles > 1 {
+		return runTiledContext(ctx, cfg, nl, pl, gates)
 	}
 
 	runner := &trialRunner{gates: gates, stream: stats.NewStream(cfg.Seed, "chipmc/"+nl.Name+"/trial#")}

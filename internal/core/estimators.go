@@ -25,6 +25,9 @@ type Result struct {
 	GridRows, GridCols int
 	// Note carries estimator-specific remarks (e.g. occupancy scaling).
 	Note string
+	// TileStats holds per-tile moments when a tiled estimator produced this
+	// result (DESIGN.md §16); nil for the monolithic paths.
+	TileStats []TileStat
 	// Degraded reports that a budget ruled out the requested method and the
 	// statistics come from a cheaper estimator (Method names which one).
 	Degraded bool

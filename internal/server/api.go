@@ -56,6 +56,12 @@ type EstimateRequest struct {
 	// Tail requests distribution-tail statistics from the Monte-Carlo run
 	// (requires Bench and MCSamples).
 	Tail *TailRequest `json:"tail,omitempty"`
+	// Tiles activates the §16 tiled pipeline: the die is partitioned T×T,
+	// estimated per tile, and combined exactly through the inter-tile
+	// covariance. Valid with the linear, auto, and integral methods (the
+	// tiled linear result is bitwise identical to the monolithic one) and
+	// with mc_samples; incompatible with polar, naive, and truth.
+	Tiles *TilesRequest `json:"tiles,omitempty"`
 	// SignalProb applies to all inputs; omitted selects the
 	// leakage-maximizing (conservative) setting.
 	SignalProb *float64 `json:"signal_prob,omitempty"`
@@ -91,6 +97,16 @@ type TailRequest struct {
 	// ISTrials is the importance-sampled trial budget for the deep-tail
 	// exceedance; 0 uses the plain-MC trials alone. Requires Spec > 0.
 	ISTrials int `json:"is_trials,omitempty"`
+}
+
+// TilesRequest configures the tiled estimation pipeline.
+type TilesRequest struct {
+	// T is the per-axis tile count; the die is partitioned into at most T×T
+	// tiles. 0 and 1 mean monolithic.
+	T int `json:"t"`
+	// PerTile additionally returns the per-tile moment breakdown in
+	// result.tile_stats.
+	PerTile bool `json:"per_tile,omitempty"`
 }
 
 // BudgetRequest mirrors leakest.EstimateBudget over JSON.
@@ -146,6 +162,20 @@ func (r *EstimateRequest) validate() error {
 		}
 		if _, err := stats.NormalizeQuantiles(r.Tail.Quantiles); err != nil {
 			return lkerr.Wrap(lkerr.InvalidInput, op, err)
+		}
+	}
+	if r.Tiles != nil {
+		if r.Tiles.T < 0 {
+			return lkerr.New(lkerr.InvalidInput, op, "negative tile count %d", r.Tiles.T)
+		}
+		if r.Tiles.T > 1 {
+			if r.Method == "polar" || r.Method == "naive" {
+				return lkerr.New(lkerr.InvalidInput, op,
+					"method %q does not support tiling; use linear, auto, or integral", r.Method)
+			}
+			if r.Truth {
+				return lkerr.New(lkerr.InvalidInput, op, "truth is monolithic; drop tiles or truth")
+			}
 		}
 	}
 	if r.Process != nil {
@@ -217,6 +247,11 @@ type ResultBody struct {
 	Degraded      bool        `json:"degraded,omitempty"`
 	DegradeReason string      `json:"degrade_reason,omitempty"`
 	Timings       []StageBody `json:"timings,omitempty"`
+	// Tiles is the number of tiles the tiled pipeline actually used (0 when
+	// monolithic); TileStats is the per-tile breakdown, present only when
+	// the request set tiles.per_tile.
+	Tiles     int                `json:"tiles,omitempty"`
+	TileStats []leakest.TileStat `json:"tile_stats,omitempty"`
 }
 
 // StageBody is one pipeline-stage timing.

@@ -401,6 +401,9 @@ func (s *Server) runEstimate(ctx context.Context, req *EstimateRequest, id strin
 	}
 	est.Workers = s.cfg.EstimatorWorkers
 	est.ApplyVtMean = req.Vt == nil || *req.Vt
+	if req.Tiles != nil {
+		est.Tiles = req.Tiles.T
+	}
 
 	// Artifact 2 (late mode): the parsed and placed netlist.
 	var bench *benchArtifact
@@ -463,6 +466,10 @@ func (s *Server) runEstimate(ctx context.Context, req *EstimateRequest, id strin
 			QueueDepth:    depth,
 			BudgetImposed: lvl != levelNormal,
 		},
+	}
+	resp.Result.Tiles = len(res.TileStats)
+	if req.Tiles != nil && req.Tiles.PerTile {
+		resp.Result.TileStats = res.TileStats
 	}
 
 	// Optional Monte Carlo, with the FFT torus embedding served from the
@@ -541,6 +548,9 @@ func (s *Server) runMonteCarlo(ctx context.Context, est *leakest.Estimator, req 
 		Sampler:    sampler,
 		Batch:      req.MCBatch,
 	}
+	if req.Tiles != nil {
+		cfg.Tiles = req.Tiles.T
+	}
 	if req.Tail != nil {
 		cfg.Tail = &chipmc.TailConfig{
 			Spec:      req.Tail.Spec,
@@ -549,9 +559,10 @@ func (s *Server) runMonteCarlo(ctx context.Context, est *leakest.Estimator, req 
 		}
 	}
 	// Artifact 3: the FFT torus embedding, shared across requests hitting
-	// the same (process, grid).
-	if sampler == leakest.SamplerFFT ||
-		((sampler == leakest.SamplerAuto || sampler == leakest.SamplerQMC) && n > chipmc.DefaultMaxGates) {
+	// the same (process, grid). The tiled path builds per-tile samplers of
+	// its own, so the full-grid embedding is not pre-warmed for it.
+	if cfg.Tiles <= 1 && (sampler == leakest.SamplerFFT ||
+		((sampler == leakest.SamplerAuto || sampler == leakest.SamplerQMC) && n > chipmc.DefaultMaxGates)) {
 		g := bench.pl.Grid
 		gsAny, gerr := s.cache.get(ctx, "embedding",
 			embeddingKey(proc, g.Rows, g.Cols, g.SiteW, g.SiteH),
@@ -580,6 +591,14 @@ func (s *Server) conformance(ctx context.Context, est *leakest.Estimator, design
 		meanTol = 1e-6
 		stdTol  = 0.35
 	)
+	// The reference rungs (naive, integral) are always run monolithically:
+	// they exist to cross-check the served moments, and the tiled linear is
+	// bitwise identical to the monolithic one anyway.
+	if est.Tiles > 1 {
+		mono := *est
+		mono.Tiles = 0
+		est = &mono
+	}
 	ref, err := est.EstimateContext(ctx, design, leakest.Naive)
 	if err != nil {
 		return &ConformanceBody{Status: "skipped", Detail: "reference failed: " + err.Error()}
@@ -592,7 +611,7 @@ func (s *Server) conformance(ctx context.Context, est *leakest.Estimator, design
 	}
 	// σ check only when an exact rung served; the integral rung IS the
 	// reference, and naive σ ignores correlation entirely.
-	if served.Method == "linear" || served.Method == "true-n2" {
+	if served.Method == "linear" || served.Method == "linear-tiled" || served.Method == "true-n2" {
 		iref, err := est.EstimateContext(ctx, design, leakest.Integral2D)
 		if err == nil {
 			body.Reference = "naive-mean+integral-std"

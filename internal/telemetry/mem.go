@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Peak-memory tracking for the tiled estimation pipeline (DESIGN.md §16):
+// the streaming/tiled paths claim O(tile) + O(T²) peak memory instead of
+// O(n), and that claim is only auditable if the process records the peak it
+// actually reached. SamplePeakAlloc is called at tile boundaries — never in
+// per-trial hot loops, since runtime.ReadMemStats stops the world — and
+// maintains a monotone high-water mark exposed as the
+// process_peak_alloc_bytes gauge.
+
+// peakAllocBytes is the high-water mark of runtime heap allocation observed
+// by SamplePeakAlloc since process start (or the last ResetPeakAlloc).
+var peakAllocBytes atomic.Uint64
+
+// SamplePeakAlloc reads the runtime's current heap allocation, folds it
+// into the process-wide high-water mark, publishes the mark to the
+// process_peak_alloc_bytes gauge when metrics are on, and returns it.
+func SamplePeakAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	cur := ms.HeapAlloc
+	for {
+		old := peakAllocBytes.Load()
+		if cur <= old {
+			cur = old
+			break
+		}
+		if peakAllocBytes.CompareAndSwap(old, cur) {
+			break
+		}
+	}
+	if sinkOn.Load() {
+		if r := def.Load(); r != nil {
+			r.Gauge("process_peak_alloc_bytes").Set(float64(cur))
+		}
+	}
+	return cur
+}
+
+// PeakAllocBytes returns the current high-water mark without sampling.
+func PeakAllocBytes() uint64 { return peakAllocBytes.Load() }
+
+// ResetPeakAlloc clears the high-water mark so a benchmark or test can
+// measure the peak of one run in isolation.
+func ResetPeakAlloc() { peakAllocBytes.Store(0) }

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPeakAllocHighWaterMark checks the monotone high-water-mark contract
+// and the gauge publication.
+func TestPeakAllocHighWaterMark(t *testing.T) {
+	resetForTest()
+	defer resetForTest()
+	ResetPeakAlloc()
+	defer ResetPeakAlloc()
+
+	first := SamplePeakAlloc()
+	if first == 0 {
+		t.Fatal("sampled zero heap allocation")
+	}
+	if PeakAllocBytes() != first {
+		t.Fatalf("PeakAllocBytes %d != sampled %d", PeakAllocBytes(), first)
+	}
+	// The mark never goes down, even if the heap shrinks between samples.
+	second := SamplePeakAlloc()
+	if second < first {
+		t.Fatalf("high-water mark regressed: %d < %d", second, first)
+	}
+	// With metrics on, the sample lands in the gauge.
+	r := Enable()
+	sampled := SamplePeakAlloc()
+	if got := r.Gauge("process_peak_alloc_bytes").Value(); got != float64(sampled) {
+		t.Fatalf("gauge %g, want %d", got, sampled)
+	}
+	ResetPeakAlloc()
+	if PeakAllocBytes() != 0 {
+		t.Fatal("ResetPeakAlloc did not clear the mark")
+	}
+}
+
+// TestTileMetricsPrometheusGolden pins the Prometheus exposition of the
+// three tiled-pipeline metrics: the chipmc_tiles_total counter, the
+// tile_duration_seconds histogram, and the process_peak_alloc_bytes gauge.
+func TestTileMetricsPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("chipmc_tiles_total").Add(9)
+	r.Gauge("process_peak_alloc_bytes").Set(1048576)
+	h := r.Histogram("tile_duration_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `# TYPE chipmc_tiles_total counter
+chipmc_tiles_total 9
+# TYPE process_peak_alloc_bytes gauge
+process_peak_alloc_bytes 1.048576e+06
+# TYPE tile_duration_seconds histogram
+tile_duration_seconds_bucket{le="0.001"} 1
+tile_duration_seconds_bucket{le="0.01"} 2
+tile_duration_seconds_bucket{le="+Inf"} 2
+tile_duration_seconds_sum 0.0025
+tile_duration_seconds_count 2
+`
+	if got := sb.String(); got != want {
+		t.Errorf("Prometheus text:\n%s\nwant:\n%s", got, want)
+	}
+}

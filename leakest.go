@@ -72,6 +72,8 @@ type (
 	Design = core.DesignSpec
 	// Result is an estimation outcome.
 	Result = core.Result
+	// TileStat is one tile's contribution in a tiled estimation (Result.TileStats).
+	TileStat = core.TileStat
 	// Mode selects analytic-fit or MC-simplified cell statistics.
 	Mode = core.Mode
 	// Histogram is a cell-usage frequency distribution.
@@ -211,6 +213,18 @@ type Estimator struct {
 	// chipmc.TailConfig); 0 estimates the exceedance from the primary
 	// trials alone. Requires Spec > 0.
 	TailTrials int
+	// Tiles > 1 activates the tiled pipeline of DESIGN.md §16: the die is
+	// partitioned into a Tiles×Tiles arrangement, per-tile moments are
+	// estimated independently, and the chip-level moments are combined
+	// through the inter-tile covariance. For Linear (and Auto) the
+	// combination is exact — bitwise identical to the monolithic estimator
+	// at any tile or worker count — and the Result additionally carries
+	// per-tile statistics in Result.TileStats. Integral2D gains centroid
+	// cross terms; Polar and Naive do not tile and are refused. MonteCarlo
+	// runs switch to per-tile FFT field sampling, lifting the gate budget
+	// to millions (see chipmc.DefaultMaxGatesTiled). 0 and 1 select the
+	// monolithic paths.
+	Tiles int
 }
 
 // tailConfig assembles the chipmc tail configuration from the estimator's
@@ -299,6 +313,21 @@ func (e *Estimator) EstimateContext(ctx context.Context, design Design, method M
 }
 
 func (e *Estimator) dispatch(ctx context.Context, m *core.Model, method Method) (Result, error) {
+	if e.Tiles < 0 {
+		return Result{}, lkerr.New(lkerr.InvalidInput, "leakest.Estimate",
+			"negative Tiles %d", e.Tiles)
+	}
+	if e.Tiles > 1 {
+		switch method {
+		case Linear, Auto:
+			return m.EstimateTiledCtx(ctx, e.Tiles, nil)
+		case Integral2D:
+			return m.EstimateTiledIntegral2DCtx(ctx, e.Tiles, nil)
+		default:
+			return Result{}, lkerr.New(lkerr.InvalidInput, "leakest.Estimate",
+				"method %s does not support tiling; use linear, auto, or integral-2d", method)
+		}
+	}
 	switch method {
 	case Linear:
 		return m.EstimateLinearCtx(ctx)
